@@ -1,0 +1,190 @@
+package zeiot_test
+
+import (
+	"testing"
+	"time"
+
+	"zeiot"
+	"zeiot/internal/cnn"
+	"zeiot/internal/csi"
+	"zeiot/internal/mac"
+	"zeiot/internal/microdeep"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+	"zeiot/internal/wsn"
+)
+
+// benchExperiment runs one paper-artifact experiment per iteration and
+// publishes its headline numbers as benchmark metrics, so a single
+// `go test -bench=.` regenerates (and records) every table and figure.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := zeiot.FindExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, k := range res.SummaryKeys() {
+				b.ReportMetric(res.Summary[k], k)
+			}
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md's experiment index).
+
+func BenchmarkE1FallCommCost(b *testing.B)    { benchExperiment(b, "e1") }
+func BenchmarkE2LoungeAccuracy(b *testing.B)  { benchExperiment(b, "e2") }
+func BenchmarkE3TrainCar(b *testing.B)        { benchExperiment(b, "e3") }
+func BenchmarkE4RoomCount(b *testing.B)       { benchExperiment(b, "e4") }
+func BenchmarkE5CSILocalization(b *testing.B) { benchExperiment(b, "e5") }
+func BenchmarkE6BackscatterMAC(b *testing.B)  { benchExperiment(b, "e6") }
+func BenchmarkE7LinkEnergy(b *testing.B)      { benchExperiment(b, "e7") }
+func BenchmarkE8Resilience(b *testing.B)      { benchExperiment(b, "e8") }
+func BenchmarkE9Sociogram(b *testing.B)       { benchExperiment(b, "e9") }
+func BenchmarkE10RFIDTracking(b *testing.B)   { benchExperiment(b, "e10") }
+
+// --- substrate micro-benchmarks ---
+
+func benchNet(seed uint64) (*cnn.Network, *tensor.Tensor) {
+	s := rng.New(seed)
+	net := cnn.NewNetwork([]int{1, 17, 25},
+		cnn.NewConv2D(1, 4, 3, 3, 1, 1, s.Split("c")),
+		cnn.NewReLU(),
+		cnn.NewMaxPool2D(3, 3),
+		cnn.NewFlatten(),
+		cnn.NewDense(4*5*8, 16, s.Split("d1")),
+		cnn.NewReLU(),
+		cnn.NewDense(16, 2, s.Split("d2")),
+	)
+	in := tensor.New(1, 17, 25)
+	d := in.Data()
+	for i := range d {
+		d[i] = s.NormMeanStd(0, 1)
+	}
+	return net, in
+}
+
+func BenchmarkCNNForward(b *testing.B) {
+	net, in := benchNet(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in)
+	}
+}
+
+func BenchmarkCNNTrainStep(b *testing.B) {
+	net, in := benchNet(2)
+	opt := cnn.NewSGD(0.01, 0.9)
+	samples := []cnn.Sample{{Input: in, Label: 1}}
+	perm := []int{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainEpoch(samples, perm, 1, opt)
+	}
+}
+
+func BenchmarkDistributedForward(b *testing.B) {
+	net, in := benchNet(3)
+	g, err := microdeep.BuildGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := microdeep.NewExecutor(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Forward(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssignBalanced(b *testing.B) {
+	net, _ := benchNet(4)
+	g, err := microdeep.BuildGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wsn.NewGrid(5, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microdeep.AssignBalanced(g, w, microdeep.DefaultBalanceOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChargeForward(b *testing.B) {
+	net, _ := benchNet(5)
+	g, err := microdeep.BuildGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wsn.NewGrid(5, 10, 1)
+	a, err := microdeep.AssignBalanced(g, w, microdeep.DefaultBalanceOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ResetCounters()
+		if _, err := microdeep.ChargeForward(g, a, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMACSimSecond(b *testing.B) {
+	cfg := mac.DefaultConfig()
+	cfg.Seed = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mac.Run(cfg, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSIFeatureExtraction(b *testing.B) {
+	pattern := csi.PaperPatterns()[0]
+	room := csi.DefaultRoom(pattern)
+	pos := csi.SevenPositions()[0]
+	stream := rng.New(1)
+	snapshot := room.Snapshot(pos, stream)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := room.Feedback.Features(snapshot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWSNRouting(b *testing.B) {
+	w := wsn.NewGrid(10, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Send(0, 99, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11BatteryFree(b *testing.B)   { benchExperiment(b, "e11") }
+func BenchmarkE12SurveySensing(b *testing.B) { benchExperiment(b, "e12") }
+func BenchmarkE13AthleteHAR(b *testing.B)    { benchExperiment(b, "e13") }
+func BenchmarkE14Intrusion(b *testing.B)     { benchExperiment(b, "e14") }
+func BenchmarkE15Vitals(b *testing.B)        { benchExperiment(b, "e15") }

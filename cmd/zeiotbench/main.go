@@ -1,0 +1,88 @@
+// Command zeiotbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zeiotbench                 # run every experiment
+//	zeiotbench -e e1,e6        # run selected experiments
+//	zeiotbench -seed 7         # change the root seed
+//	zeiotbench -list           # list experiments
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"zeiot"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		ids     = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		seed    = flag.Uint64("seed", 1, "root random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range zeiot.Experiments() {
+			fmt.Printf("%-4s %s\n     paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return 0
+	}
+
+	var selected []zeiot.Experiment
+	if *ids == "" {
+		selected = zeiot.Experiments()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, err := zeiot.FindExperiment(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	var results []*zeiot.Result
+	for _, e := range selected {
+		start := time.Now()
+		result, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *jsonOut {
+			results = append(results, result)
+			continue
+		}
+		if _, err := result.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

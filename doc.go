@@ -1,0 +1,24 @@
+// Package zeiot reproduces "Context Recognition of Humans and Objects by
+// Distributed Zero-Energy IoT Devices" (Higashino, Uchiyama, Saruwatari,
+// Yamaguchi, Watanabe — ICDCS 2019).
+//
+// The library implements the paper's core contribution — MicroDeep, a
+// convolutional neural network distributed over a wireless sensor network
+// (internal/microdeep) — and every substrate the paper's systems need:
+// a from-scratch CNN (internal/cnn), a multi-hop WSN simulator with
+// per-node communication accounting (internal/wsn), RF propagation and
+// ambient-backscatter link models (internal/radio, internal/backscatter),
+// the backscatter MAC coexistence protocol (internal/mac), the 802.11ac
+// compressed-CSI learning pipeline (internal/csi), RSSI congestion
+// estimators (internal/congestion), RFID phase tracking (internal/rfid),
+// zero-energy sensor device models (internal/sensors), and the sociogram
+// pipeline (internal/sociogram).
+//
+// This root package hosts the experiment registry: one runnable experiment
+// per table/figure/claim in the paper (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers). Run them with
+//
+//	go run ./cmd/zeiotbench            # all experiments
+//	go run ./cmd/zeiotbench -e e1      # one experiment
+//	go test -bench=. -benchmem         # the benchmark harness
+package zeiot

@@ -1,0 +1,148 @@
+package zeiot
+
+import (
+	"fmt"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/dataset"
+	"zeiot/internal/microdeep"
+	"zeiot/internal/rng"
+	"zeiot/internal/wsn"
+)
+
+// loungeNet builds the discomfort-detection CNN over the 17×25 cell field.
+func loungeNet(stream *rng.Stream) *cnn.Network {
+	return cnn.NewNetwork([]int{1, 17, 25},
+		cnn.NewConv2D(1, 4, 3, 3, 1, 1, stream.Split("c")),
+		cnn.NewReLU(),
+		cnn.NewMaxPool2D(3, 3),
+		cnn.NewFlatten(),
+		cnn.NewDense(4*5*8, 16, stream.Split("d1")),
+		cnn.NewReLU(),
+		cnn.NewDense(16, 2, stream.Split("d2")),
+	)
+}
+
+// loungeWSN deploys 50 sensor nodes over the lounge as a 5×10 grid (the
+// paper's campaign used 50 temperature sensors across 25×17 cells).
+func loungeWSN() *wsn.Network {
+	return wsn.NewGrid(5, 10, 1)
+}
+
+// e2Samples bounds the default run for benchmark-friendly runtimes while
+// keeping the paper's data shape; pass the full 2,961 via cfg if desired.
+const e2Samples = 1200
+
+// RunE2Lounge regenerates the §IV.C lounge experiment: discomfort
+// detection over the 25×17-cell field, MicroDeep (balanced assignment +
+// local weight updates on 50 nodes) against the standard centralized CNN.
+// The paper reports ~95% vs 97% accuracy with MicroDeep's peak per-node
+// traffic at 13% of the centralized version.
+func RunE2Lounge(seed uint64) (*Result, error) {
+	root := rng.New(seed)
+	cfg := dataset.DefaultLoungeConfig()
+	cfg.Seed = seed
+	cfg.Samples = e2Samples
+	cfg.NoiseC = 0.75 // realistic sensor noise keeps accuracies off the ceiling
+	samples, err := dataset.GenerateLounge(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cut := len(samples) * 3 / 4
+	train, test := samples[:cut], samples[cut:]
+
+	// Accuracies are averaged over three training seeds: single runs of
+	// an 8-epoch SGD swing by a few points, more than the effect size.
+	const repeats = 3
+	accStd := 0.0
+	for r := 0; r < repeats; r++ {
+		sStd := root.Split(fmt.Sprintf("std-%d", r))
+		standard := loungeNet(sStd)
+		standard.Fit(train, 8, 16, cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
+		accStd += standard.Evaluate(test)
+	}
+	accStd /= repeats
+
+	// MicroDeep: same architecture distributed over 50 nodes with the
+	// balanced heuristic and local weight updates.
+	w := loungeWSN()
+	accMD := 0.0
+	var md *microdeep.Model
+	for r := 0; r < repeats; r++ {
+		sMD := root.Split(fmt.Sprintf("microdeep-%d", r))
+		mdNet := loungeNet(sMD)
+		var err error
+		md, err = microdeep.Build(mdNet, w, microdeep.StrategyBalanced)
+		if err != nil {
+			return nil, err
+		}
+		md.EnableLocalUpdate()
+		md.Fit(train, 12, 16, cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
+		accMD += md.Evaluate(test)
+	}
+	accMD /= repeats
+
+	// Peak-traffic comparison: the sensing pipeline runs a forward pass
+	// per sample, so MicroDeep's per-sample forward traffic is compared
+	// against shipping every sensor reading to a single sink (the
+	// "standard version" deployment whose peak traffic §IV.C says
+	// MicroDeep cuts to 13%). Training traffic (forward+backward) is
+	// reported separately.
+	w.ResetCounters()
+	if _, err := microdeep.ChargeForward(md.Graph, md.Assign, w); err != nil {
+		return nil, err
+	}
+	mdFwd := microdeep.Report(w)
+	mdCost, err := md.CostPerSample(false)
+	if err != nil {
+		return nil, err
+	}
+	w.ResetCounters()
+	if _, err := microdeep.ChargeCentralized(md.Graph, w, w.Live()[len(w.Live())/2]); err != nil {
+		return nil, err
+	}
+	centralCost := microdeep.Report(w)
+	peakRatio := float64(mdFwd.Max) / float64(centralCost.Max)
+
+	// Ablations the design section calls out: assignment strategy and
+	// local vs synchronized updates, on the same architecture.
+	coordModel, err := microdeep.Build(loungeNet(root.Split("coord")), loungeWSN(), microdeep.StrategyCoordinate)
+	if err != nil {
+		return nil, err
+	}
+	coordCost, err := coordModel.CostPerSample(false)
+	if err != nil {
+		return nil, err
+	}
+	syncCost, err := md.CostPerSample(true)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:         "e2",
+		Title:      "Lounge discomfort detection: accuracy and peak traffic",
+		PaperClaim: "MicroDeep ~95% vs standard CNN 97%; peak traffic 13% of centralized",
+		Header:     []string{"setting", "accuracy", "max cost/sample", "peak vs centralized"},
+		Rows: [][]string{
+			{"standard CNN (ship to sink)", pct(accStd), fi(centralCost.Max), "100%"},
+			{"MicroDeep sensing (forward only)", pct(accMD), fi(mdFwd.Max), pct(peakRatio)},
+			{"MicroDeep training (fwd+bwd)", "-", fi(mdCost.Max), pct(float64(mdCost.Max) / float64(centralCost.Max))},
+			{"ablation: coordinate assignment", "-", fi(coordCost.Max), pct(float64(coordCost.Max) / float64(centralCost.Max))},
+			{"ablation: synchronized weights", "-", fi(syncCost.Max), pct(float64(syncCost.Max) / float64(centralCost.Max))},
+		},
+		Summary: map[string]float64{
+			"acc_standard":   accStd,
+			"acc_microdeep":  accMD,
+			"peak_ratio":     peakRatio,
+			"max_cost_md":    float64(mdCost.Max),
+			"max_fwd_md":     float64(mdFwd.Max),
+			"max_cost_sink":  float64(centralCost.Max),
+			"max_cost_sync":  float64(syncCost.Max),
+			"max_cost_coord": float64(coordCost.Max),
+		},
+		Notes: fmt.Sprintf("%d of the paper's 2,961 samples (runtime bound), 50 nodes over 17×25 cells; replica divergence %.4f",
+			cfg.Samples, md.ReplicaDivergence()),
+	}
+	return res, nil
+}

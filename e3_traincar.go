@@ -1,0 +1,78 @@
+package zeiot
+
+import (
+	"fmt"
+
+	"zeiot/internal/congestion"
+	"zeiot/internal/ml"
+	"zeiot/internal/rng"
+)
+
+// RunE3TrainCar regenerates the §IV.B train-car results of ref. [65]:
+// car-level positioning accuracy (paper: 83%) and three-level congestion
+// F-measure (paper: 0.82), from Bluetooth RSSI among phones plus per-car
+// reference nodes.
+func RunE3TrainCar(seed uint64) (*Result, error) {
+	root := rng.New(seed)
+	cfg := congestion.DefaultTrainConfig()
+	est, err := congestion.Calibrate(cfg, 12, root.Split("calibrate"))
+	if err != nil {
+		return nil, err
+	}
+
+	const trials = 12
+	posCorrect, posTotal := 0, 0
+	carCM := ml.NewConfusionMatrix(3)
+	stream := root.Split("eval")
+	for trial := 0; trial < trials; trial++ {
+		perCar := make([]int, cfg.Cars)
+		for c := range perCar {
+			switch (trial + c) % 3 {
+			case 0:
+				perCar[c] = 3 + stream.Intn(cfg.MediumAt-3)
+			case 1:
+				perCar[c] = cfg.MediumAt + stream.Intn(cfg.HighAt-cfg.MediumAt)
+			default:
+				perCar[c] = cfg.HighAt + stream.Intn(20)
+			}
+		}
+		scenario, err := congestion.Generate(cfg, perCar, stream)
+		if err != nil {
+			return nil, err
+		}
+		meas := congestion.Measure(scenario, stream)
+		cars, rel := est.Positions(meas)
+		for u := range cars {
+			if cars[u] == scenario.Car[u] {
+				posCorrect++
+			}
+			posTotal++
+		}
+		levels := est.CarCongestion(meas, cars, rel)
+		for c, lvl := range levels {
+			carCM.Add(int(cfg.LevelFor(perCar[c])), int(lvl))
+		}
+	}
+	posAcc := float64(posCorrect) / float64(posTotal)
+	res := &Result{
+		ID:         "e3",
+		Title:      "Train-car positioning and three-level congestion",
+		PaperClaim: "83% car-level positioning; congestion F-measure 0.82",
+		Header:     []string{"metric", "measured", "paper"},
+		Rows: [][]string{
+			{"car-level positioning accuracy", pct(posAcc), "83%"},
+			{"congestion accuracy", pct(carCM.Accuracy()), "-"},
+			{"congestion macro F-measure", f3(carCM.MacroF1()), "0.82"},
+			{"F1 low", f3(carCM.F1(0)), "-"},
+			{"F1 medium", f3(carCM.F1(1)), "-"},
+			{"F1 high", f3(carCM.F1(2)), "-"},
+		},
+		Summary: map[string]float64{
+			"positioning_acc": posAcc,
+			"congestion_f1":   carCM.MacroF1(),
+			"congestion_acc":  carCM.Accuracy(),
+		},
+		Notes: fmt.Sprintf("%d evaluation rides on a %d-car train, %d positioned users", trials, cfg.Cars, posTotal),
+	}
+	return res, nil
+}

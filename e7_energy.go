@@ -1,0 +1,115 @@
+package zeiot
+
+import (
+	"fmt"
+
+	"zeiot/internal/backscatter"
+	"zeiot/internal/geom"
+	"zeiot/internal/phy"
+	"zeiot/internal/radio"
+	"zeiot/internal/rng"
+)
+
+// RunE7LinkEnergy regenerates the paper's §I zero-energy claims: the
+// energy-per-bit comparison behind "ambient backscatter reduces power
+// consumption to about 1/10,000 (~10 µW)" and the BER/delivery-vs-distance
+// behaviour of the product channel behind "transmit and receive data in
+// several tens of meters".
+func RunE7LinkEnergy(seed uint64) (*Result, error) {
+	res := &Result{
+		ID:         "e7",
+		Title:      "Zero-energy link: energy per bit and range",
+		PaperClaim: "backscatter ~10 µW, ~1/10,000 of conventional radio; usable over tens of metres",
+		Header:     []string{"row", "value", "detail"},
+		Summary:    map[string]float64{},
+	}
+	radios := radio.StandardRadios()
+	var wifiJ, backJ float64
+	for _, r := range radios {
+		j := r.JoulesPerBit()
+		res.Rows = append(res.Rows, []string{
+			"energy/bit " + r.Tech,
+			fmt.Sprintf("%.3g J", j),
+			fmt.Sprintf("%.3g W @ %.3g bps", r.PowerW, r.BitRate),
+		})
+		res.Summary["jpb_"+r.Tech] = j
+		switch r.Tech {
+		case "wifi":
+			wifiJ = j
+		case "backscatter":
+			backJ = j
+		}
+	}
+	ratio := wifiJ / backJ
+	res.Summary["wifi_over_backscatter"] = ratio
+	res.Rows = append(res.Rows, []string{"wifi / backscatter", fmt.Sprintf("%.0fx", ratio), "paper: ~10,000x"})
+
+	// Product-channel range: a ZigBee-backscatter tag (DSSS spreading
+	// gain 8, as in the paper's testbed) equidistant between a 30 dBm
+	// EIRP carrier source and a full-duplex receiver, line-of-sight
+	// propagation, empirical delivery over 400 draws per distance.
+	link := radio.BackscatterLink{
+		Model:       radio.LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 2.0, ShadowSigmaDB: 3},
+		TagLossDB:   8,
+		SourceTxDBm: 30,
+	}
+	tag := backscatter.NewTag(0, geom.Point{}, link)
+	noise := radio.ThermalNoiseDBm(250e3, 6)
+	stream := rng.New(seed)
+	maxUsable := 0.0
+	for _, d := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		delivered := 0
+		const draws = 400
+		for i := 0; i < draws; i++ {
+			if tag.TransmitPacket(d, d, d, 256, noise, 80, stream).Delivered {
+				delivered++
+			}
+		}
+		rate := float64(delivered) / draws
+		det := tag.TransmitPacket(d, d, d, 256, noise, 80, nil)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("delivery @ %gm", d),
+			pct(rate),
+			fmt.Sprintf("BER %.2e", det.BER),
+		})
+		res.Summary[fmt.Sprintf("delivery_%gm", d)] = rate
+		if rate >= 0.9 {
+			maxUsable = d
+		}
+	}
+	res.Summary["usable_range_m"] = maxUsable
+	res.Rows = append(res.Rows, []string{"usable range (>=90%)", fmt.Sprintf("%.0f m", maxUsable), "paper: several tens of metres"})
+
+	// The §IV.A rationale for ZigBee backscatter: DSSS spreading gain.
+	// Measure symbol error rates at chip level, spread vs unspread, under
+	// heavy noise and under a CW jammer.
+	cb := phy.NewCodebook()
+	noisy := phy.Channel{NoiseStd: 2.0}
+	spreadSER, err := phy.SymbolErrorRate(cb, noisy, 4000, rng.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	rawSER, err := phy.UnspreadErrorRate(noisy, 4000, rng.New(seed+2))
+	if err != nil {
+		return nil, err
+	}
+	jammed := phy.Channel{NoiseStd: 0.3, InterfererAmp: 2.0, InterfererHz: 153e3, ChipRateHz: 2e6}
+	spreadJam, err := phy.SymbolErrorRate(cb, jammed, 4000, rng.New(seed+3))
+	if err != nil {
+		return nil, err
+	}
+	rawJam, err := phy.UnspreadErrorRate(jammed, 4000, rng.New(seed+4))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows,
+		[]string{"DSSS SER, chip SNR -6 dB", pct(spreadSER), fmt.Sprintf("unspread %s", pct(rawSER))},
+		[]string{"DSSS SER under CW jammer", pct(spreadJam), fmt.Sprintf("unspread %s", pct(rawJam))},
+	)
+	res.Summary["dsss_ser_noise"] = spreadSER
+	res.Summary["raw_ser_noise"] = rawSER
+	res.Summary["dsss_ser_jam"] = spreadJam
+	res.Summary["raw_ser_jam"] = rawJam
+	res.Notes = "tag equidistant from carrier source and receiver; 256-bit packets, 80 dB carrier cancellation; DSSS = 32-chip/16-symbol correlation receiver"
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package zeiot
+
+import (
+	"fmt"
+	"sort"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/dataset"
+	"zeiot/internal/geom"
+	"zeiot/internal/microdeep"
+	"zeiot/internal/rng"
+	"zeiot/internal/wsn"
+)
+
+// RunE8Resilience implements the §V research challenge the paper states
+// but does not evaluate: "a part of tiny IoT devices may be broken — the
+// development of resilient distributed machine learning mechanisms in the
+// environments containing such broken IoT devices". We train the lounge
+// CNN, then kill growing fractions of nodes and measure accuracy (i) with
+// the assignment left as-is (dead sites output zeros) and (ii) after
+// reassigning the surviving computation, so only the dead sensors' inputs
+// are lost.
+func RunE8Resilience(seed uint64) (*Result, error) {
+	root := rng.New(seed)
+	cfg := dataset.DefaultLoungeConfig()
+	cfg.Seed = seed
+	cfg.Samples = 700
+	cfg.NoiseC = 0.8
+	samples, err := dataset.GenerateLounge(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cut := len(samples) * 3 / 4
+	train, test := samples[:cut], samples[cut:]
+
+	sNet := root.Split("net")
+	net := loungeNet(sNet)
+	w := loungeWSN()
+	model, err := microdeep.Build(net, w, microdeep.StrategyBalanced)
+	if err != nil {
+		return nil, err
+	}
+	model.Fit(train, 6, 16, cnn.NewSGD(0.02, 0.9), sNet.Split("fit"))
+
+	evaluate := func(assign *microdeep.Assignment, dead map[int]bool, deadSites map[int]bool) (float64, error) {
+		ex := microdeep.NewExecutor(model.Graph)
+		ex.Assign = assign
+		ex.DeadNodes = dead
+		ex.DeadSites = deadSites
+		correct := 0
+		for _, s := range test {
+			out, err := ex.Forward(s.Input)
+			if err != nil {
+				return 0, err
+			}
+			if out.Argmax() == s.Label {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(test)), nil
+	}
+
+	res := &Result{
+		ID:         "e8",
+		Title:      "Accuracy under broken devices, with and without reassignment",
+		PaperClaim: "open challenge in §V (resilient distributed ML with broken devices)",
+		Header:     []string{"failed nodes", "accuracy (as-is)", "accuracy (reassigned)"},
+		Summary:    map[string]float64{},
+	}
+	// Failures are spatially correlated — a region losing its energy
+	// harvest takes every device in it down together — so the k failed
+	// nodes are those nearest a corner of the field. Results average over
+	// all four corners: which region the trained model happens to lean on
+	// varies with the training draw.
+	minP, maxP := fieldCorners(w)
+	corners := []geom.Point{
+		minP,
+		{X: maxP.X, Y: minP.Y},
+		{X: minP.X, Y: maxP.Y},
+		maxP,
+	}
+	orderFrom := func(corner geom.Point) []int {
+		order := make([]int, w.NumNodes())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di := geom.Dist(w.Node(order[i]).Pos, corner)
+			dj := geom.Dist(w.Node(order[j]).Pos, corner)
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+		return order
+	}
+	fractions := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	for _, frac := range fractions {
+		k := int(frac * float64(w.NumNodes()))
+		asIsSum, reassignedSum := 0.0, 0.0
+		for _, corner := range corners {
+			dead := make(map[int]bool, k)
+			for _, n := range orderFrom(corner)[:k] {
+				dead[n] = true
+			}
+			asIs, err := evaluate(&model.Assign, dead, nil)
+			if err != nil {
+				return nil, err
+			}
+			// Reassignment: recompute the balanced assignment on the
+			// surviving network; dead sensors' inputs stay lost but every
+			// unit runs.
+			reassigned := asIs
+			if k > 0 {
+				wFail := loungeWSN()
+				for n := range dead {
+					wFail.Fail(n)
+				}
+				if !wFail.Connected() {
+					return nil, fmt.Errorf("zeiot: failure pattern partitions the WSN")
+				}
+				newAssign, err := microdeep.AssignBalanced(model.Graph, wFail, microdeep.DefaultBalanceOptions())
+				if err != nil {
+					return nil, err
+				}
+				// Under the new assignment every compute site moved to a
+				// live node, but the dead sensors' readings are still
+				// gone: silence the input sites whose original sensor
+				// (per the pre-failure assignment) died.
+				deadSites := make(map[int]bool)
+				for _, sid := range model.Graph.Stages[0].Sites {
+					if dead[model.Assign.NodeOf[sid]] {
+						deadSites[sid] = true
+					}
+				}
+				reassigned, err = evaluate(&newAssign, nil, deadSites)
+				if err != nil {
+					return nil, err
+				}
+			}
+			asIsSum += asIs
+			reassignedSum += reassigned
+		}
+		asIs := asIsSum / float64(len(corners))
+		reassigned := reassignedSum / float64(len(corners))
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d (%.0f%%)", k, 100*frac), pct(asIs), pct(reassigned),
+		})
+		res.Summary[fmt.Sprintf("acc_asis_%.0f", 100*frac)] = asIs
+		res.Summary[fmt.Sprintf("acc_reassigned_%.0f", 100*frac)] = reassigned
+	}
+	res.Notes = fmt.Sprintf("%d-node WSN, %d test samples, averaged over 4 failure corners; reassignment recomputes the balanced placement on survivors", w.NumNodes(), len(test))
+	return res, nil
+}
+
+// fieldCorners returns the bounding box of the node field.
+func fieldCorners(w *wsn.Network) (minP, maxP geom.Point) {
+	minP = w.Node(0).Pos
+	maxP = w.Node(0).Pos
+	for _, nd := range w.Nodes() {
+		if nd.Pos.X < minP.X {
+			minP.X = nd.Pos.X
+		}
+		if nd.Pos.Y < minP.Y {
+			minP.Y = nd.Pos.Y
+		}
+		if nd.Pos.X > maxP.X {
+			maxP.X = nd.Pos.X
+		}
+		if nd.Pos.Y > maxP.Y {
+			maxP.Y = nd.Pos.Y
+		}
+	}
+	return minP, maxP
+}

@@ -1,0 +1,79 @@
+// Backscatterlan demonstrates the §IV.A coexistence protocol: an 802.11
+// channel shared between WLAN stations and zero-energy backscatter IoT
+// devices, under the proposed cycle-registered MAC and the uncoordinated
+// baseline — plus the zero-energy link budget that motivates it all.
+//
+//	go run ./examples/backscatterlan
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zeiot/internal/backscatter"
+	"zeiot/internal/geom"
+	"zeiot/internal/mac"
+	"zeiot/internal/radio"
+	"zeiot/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Why backscatter: energy per bit across radio technologies.
+	fmt.Println("energy per bit:")
+	for _, r := range radio.StandardRadios() {
+		fmt.Printf("  %-12s %.3g J/bit\n", r.Tech, r.JoulesPerBit())
+	}
+
+	// 2. A tag on the product channel: delivery over distance.
+	link := radio.BackscatterLink{
+		Model:       radio.LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 2.0, ShadowSigmaDB: 3},
+		TagLossDB:   8,
+		SourceTxDBm: 30,
+	}
+	tag := backscatter.NewTag(0, geom.Point{}, link)
+	noise := radio.ThermalNoiseDBm(250e3, 6)
+	stream := rng.New(1)
+	fmt.Println("backscatter delivery vs distance (256-bit packets):")
+	for _, d := range []float64{2, 8, 16, 32} {
+		ok := 0
+		for i := 0; i < 200; i++ {
+			if tag.TransmitPacket(d, d, d, 256, noise, 80, stream).Delivered {
+				ok++
+			}
+		}
+		fmt.Printf("  %4.0f m: %5.1f%%\n", d, float64(ok)/2)
+	}
+
+	// 3. An intermittent (battery-free) device: harvested µW → duty cycle.
+	h, err := backscatter.NewHarvester(1e-3, 1e-4, 0, 20e-6)
+	if err != nil {
+		return err
+	}
+	dev := &backscatter.IntermittentDevice{Harvester: h, TaskEnergyJ: 8e-5}
+	ran := dev.Step(time.Minute, 10*time.Millisecond)
+	fmt.Printf("intermittent device: %d sense-and-send cycles in one minute on 20 µW harvest\n", ran)
+
+	// 4. MAC coexistence: the proposed scheduler vs uncoordinated riders.
+	fmt.Println("coexistence over 10 s, 20 devices, 100 ms cycles, 50 WLAN frames/s:")
+	for _, mode := range []mac.Mode{mac.ModeScheduled, mac.ModeAloha} {
+		cfg := mac.DefaultConfig()
+		cfg.Mode = mode
+		cfg.NumDevices = 20
+		cfg.WLANRate = 50
+		cfg.Seed = 2
+		m, err := mac.Run(cfg, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s backscatter delivery %5.1f%%  collisions %3d  wlan retries %3d  dummies %d\n",
+			mode, 100*m.BSDeliveryRatio(), m.BSCollided, m.WLANRetries, m.DummyFrames)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module zeiot
+
+go 1.23

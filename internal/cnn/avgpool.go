@@ -1,0 +1,130 @@
+package cnn
+
+import (
+	"fmt"
+
+	"zeiot/internal/tensor"
+)
+
+// AvgPool2D is an average pooling layer over (channels, height, width)
+// input. Windows clipped by the input edge average over the cells actually
+// present, which keeps the operation an exact associative mean — the
+// property the distributed executor's in-network aggregation relies on.
+type AvgPool2D struct {
+	Size, Stride int
+	inShape      []int
+	counts       []int // cells actually inside each output's window
+}
+
+var (
+	_ Layer        = (*AvgPool2D)(nil)
+	_ SpatialLayer = (*AvgPool2D)(nil)
+)
+
+// NewAvgPool2D returns an average pooling layer with the given window size
+// and stride. A stride of 0 defaults to the window size.
+func NewAvgPool2D(size, stride int) *AvgPool2D {
+	if size <= 0 {
+		panic("cnn: non-positive pool size")
+	}
+	if stride == 0 {
+		stride = size
+	}
+	if stride < 0 {
+		panic("cnn: negative pool stride")
+	}
+	return &AvgPool2D{Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return fmt.Sprintf("avgpool%dx%d", p.Size, p.Size) }
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("cnn: pool input shape %v, want 3-d", in))
+	}
+	oh := (in[1]-p.Size)/p.Stride + 1
+	ow := (in[2]-p.Size)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: pool output collapses for input %v", in))
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Receptive implements SpatialLayer.
+func (p *AvgPool2D) Receptive(oy, ox int) (y0, y1, x0, x1 int) {
+	y0 = oy * p.Stride
+	x0 = ox * p.Stride
+	return y0, y0 + p.Size - 1, x0, x0 + p.Size - 1
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	p.inShape = append(p.inShape[:0], in.Shape()...)
+	outShape := p.OutShape(in.Shape())
+	ch, oh, ow := outShape[0], outShape[1], outShape[2]
+	h, w := in.Dim(1), in.Dim(2)
+	out := tensor.New(ch, oh, ow)
+	if cap(p.counts) < oh*ow {
+		p.counts = make([]int, oh*ow)
+	}
+	p.counts = p.counts[:oh*ow]
+	for c := 0; c < ch; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum, count := 0.0, 0
+				for ky := 0; ky < p.Size; ky++ {
+					iy := oy*p.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						ix := ox*p.Stride + kx
+						if ix >= w {
+							break
+						}
+						sum += in.At(c, iy, ix)
+						count++
+					}
+				}
+				out.Set(sum/float64(count), c, oy, ox)
+				if c == 0 {
+					p.counts[oy*ow+ox] = count
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(p.inShape) == 0 {
+		panic("cnn: AvgPool2D backward before forward")
+	}
+	gradIn := tensor.New(p.inShape...)
+	ch, oh, ow := gradOut.Dim(0), gradOut.Dim(1), gradOut.Dim(2)
+	h, w := p.inShape[1], p.inShape[2]
+	for c := 0; c < ch; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := gradOut.At(c, oy, ox) / float64(p.counts[oy*ow+ox])
+				for ky := 0; ky < p.Size; ky++ {
+					iy := oy*p.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						ix := ox*p.Stride + kx
+						if ix >= w {
+							break
+						}
+						gradIn.Set(gradIn.At(c, iy, ix)+g, c, iy, ix)
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}

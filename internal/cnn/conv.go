@@ -1,0 +1,190 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (channels, height, width) input with
+// stride and zero padding. Weights are shaped (outC, inC, kh, kw); the bias
+// has one entry per output channel.
+type Conv2D struct {
+	InC, OutC    int
+	KH, KW       int
+	Stride       int
+	Pad          int
+	weight, bias *tensor.Tensor
+	gradW, gradB *tensor.Tensor
+	lastIn       *tensor.Tensor
+	// kernelFor, when non-nil, returns the kernel replica to use at output
+	// position (oy, ox) instead of the shared weight tensor. Package
+	// microdeep installs this hook to emulate per-node weight replicas;
+	// the matching gradient routing goes through gradFor.
+	kernelFor func(oy, ox int) *tensor.Tensor
+	gradFor   func(oy, ox int) *tensor.Tensor
+}
+
+var (
+	_ Layer        = (*Conv2D)(nil)
+	_ ParamLayer   = (*Conv2D)(nil)
+	_ SpatialLayer = (*Conv2D)(nil)
+)
+
+// NewConv2D builds a convolution layer with He-initialized weights drawn
+// from stream.
+func NewConv2D(inC, outC, kh, kw, stride, pad int, stream *rng.Stream) *Conv2D {
+	if inC <= 0 || outC <= 0 || kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+		panic("cnn: invalid Conv2D geometry")
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		weight: tensor.New(outC, inC, kh, kw),
+		bias:   tensor.New(outC),
+		gradW:  tensor.New(outC, inC, kh, kw),
+		gradB:  tensor.New(outC),
+	}
+	std := math.Sqrt(2.0 / float64(inC*kh*kw))
+	w := c.weight.Data()
+	for i := range w {
+		w[i] = stream.NormMeanStd(0, std)
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d->%d)", c.KH, c.KW, c.InC, c.OutC)
+}
+
+// Params implements ParamLayer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weight, c.bias} }
+
+// Grads implements ParamLayer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gradW, c.gradB} }
+
+// ZeroGrads implements ParamLayer.
+func (c *Conv2D) ZeroGrads() {
+	c.gradW.Zero()
+	c.gradB.Zero()
+}
+
+// Weight returns the shared kernel tensor (outC, inC, kh, kw).
+func (c *Conv2D) Weight() *tensor.Tensor { return c.weight }
+
+// Bias returns the bias tensor (outC).
+func (c *Conv2D) Bias() *tensor.Tensor { return c.bias }
+
+// SetReplicaHooks installs per-position kernel selection: kernelFor supplies
+// the weight tensor used when computing output position (oy, ox) and gradFor
+// the tensor its weight gradients accumulate into. Both tensors must have
+// the layer's (outC, inC, kh, kw) shape. Passing nil, nil restores shared
+// weights.
+func (c *Conv2D) SetReplicaHooks(kernelFor, gradFor func(oy, ox int) *tensor.Tensor) {
+	c.kernelFor = kernelFor
+	c.gradFor = gradFor
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("cnn: conv input shape %v, want (%d,H,W)", in, c.InC))
+	}
+	oh := (in[1]+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (in[2]+2*c.Pad-c.KW)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: conv output collapses for input %v", in))
+	}
+	return []int{c.OutC, oh, ow}
+}
+
+// Receptive implements SpatialLayer.
+func (c *Conv2D) Receptive(oy, ox int) (y0, y1, x0, x1 int) {
+	y0 = oy*c.Stride - c.Pad
+	x0 = ox*c.Stride - c.Pad
+	return y0, y0 + c.KH - 1, x0, x0 + c.KW - 1
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	c.lastIn = in.Clone()
+	outShape := c.OutShape(in.Shape())
+	oh, ow := outShape[1], outShape[2]
+	h, w := in.Dim(1), in.Dim(2)
+	out := tensor.New(c.OutC, oh, ow)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			kernel := c.weight
+			if c.kernelFor != nil {
+				kernel = c.kernelFor(oy, ox)
+			}
+			for oc := 0; oc < c.OutC; oc++ {
+				sum := c.bias.At(oc)
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += kernel.At(oc, ic, ky, kx) * in.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(sum, oc, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic("cnn: Conv2D backward before forward")
+	}
+	in := c.lastIn
+	h, w := in.Dim(1), in.Dim(2)
+	oh, ow := gradOut.Dim(1), gradOut.Dim(2)
+	gradIn := tensor.New(c.InC, h, w)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			kernel := c.weight
+			gw := c.gradW
+			if c.kernelFor != nil {
+				kernel = c.kernelFor(oy, ox)
+				gw = c.gradFor(oy, ox)
+			}
+			for oc := 0; oc < c.OutC; oc++ {
+				g := gradOut.At(oc, oy, ox)
+				if g == 0 {
+					continue
+				}
+				c.gradB.Data()[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							gw.Set(gw.At(oc, ic, ky, kx)+g*in.At(ic, iy, ix), oc, ic, ky, kx)
+							gradIn.Set(gradIn.At(ic, iy, ix)+g*kernel.At(oc, ic, ky, kx), ic, iy, ix)
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,116 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Dense is a fully connected layer over 1-D input. Weights are shaped
+// (out, in).
+type Dense struct {
+	In, Out      int
+	weight, bias *tensor.Tensor
+	gradW, gradB *tensor.Tensor
+	lastIn       *tensor.Tensor
+}
+
+var (
+	_ Layer      = (*Dense)(nil)
+	_ ParamLayer = (*Dense)(nil)
+)
+
+// NewDense builds a fully connected layer with He-initialized weights drawn
+// from stream.
+func NewDense(in, out int, stream *rng.Stream) *Dense {
+	if in <= 0 || out <= 0 {
+		panic("cnn: invalid Dense geometry")
+	}
+	d := &Dense{
+		In: in, Out: out,
+		weight: tensor.New(out, in),
+		bias:   tensor.New(out),
+		gradW:  tensor.New(out, in),
+		gradB:  tensor.New(out),
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	w := d.weight.Data()
+	for i := range w {
+		w[i] = stream.NormMeanStd(0, std)
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// Params implements ParamLayer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.weight, d.bias} }
+
+// Grads implements ParamLayer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gradW, d.gradB} }
+
+// ZeroGrads implements ParamLayer.
+func (d *Dense) ZeroGrads() {
+	d.gradW.Zero()
+	d.gradB.Zero()
+}
+
+// Weight returns the (out, in) weight matrix.
+func (d *Dense) Weight() *tensor.Tensor { return d.weight }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int {
+	if len(in) != 1 || in[0] != d.In {
+		panic(fmt.Sprintf("cnn: dense input shape %v, want (%d)", in, d.In))
+	}
+	return []int{d.Out}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if in.Dims() != 1 || in.Dim(0) != d.In {
+		panic(fmt.Sprintf("cnn: dense forward shape %v, want (%d)", in.Shape(), d.In))
+	}
+	d.lastIn = in.Clone()
+	out := tensor.MatVec(d.weight, in)
+	out.AddInPlace(d.bias)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic("cnn: Dense backward before forward")
+	}
+	d.gradB.AddInPlace(gradOut)
+	gw := d.gradW.Data()
+	in := d.lastIn.Data()
+	go2 := gradOut.Data()
+	for o := 0; o < d.Out; o++ {
+		g := go2[o]
+		if g == 0 {
+			continue
+		}
+		row := gw[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			row[i] += g * in[i]
+		}
+	}
+	gradIn := tensor.New(d.In)
+	gi := gradIn.Data()
+	wd := d.weight.Data()
+	for o := 0; o < d.Out; o++ {
+		g := go2[o]
+		if g == 0 {
+			continue
+		}
+		row := wd[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			gi[i] += g * row[i]
+		}
+	}
+	return gradIn
+}

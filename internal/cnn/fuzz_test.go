@@ -1,0 +1,38 @@
+package cnn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the model decoder: it must never panic,
+// only return errors for garbage.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid blob and some mutations of it.
+	net := buildTinyNet(1)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not a gob at all"))
+	if len(valid) > 10 {
+		truncated := append([]byte(nil), valid[:len(valid)/2]...)
+		f.Add(truncated)
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected path for garbage
+		}
+		// A successful load must produce a usable network.
+		if loaded == nil || len(loaded.InShape()) == 0 {
+			t.Fatal("Load returned success with unusable network")
+		}
+	})
+}

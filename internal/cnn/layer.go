@@ -1,0 +1,138 @@
+// Package cnn implements a small, from-scratch convolutional neural network:
+// Conv2D, MaxPool2D, Dense, ReLU, softmax cross-entropy, and SGD with
+// momentum. It is the "standard CNN" baseline of the paper and the numeric
+// core that package microdeep distributes across a wireless sensor network.
+//
+// Tensors flow through layers in (channels, height, width) layout; Dense
+// layers operate on flattened 1-D activations. All layers record what they
+// need during Forward so Backward can run without re-supplying inputs;
+// a network therefore processes one sample at a time (mini-batches are
+// accumulated by the optimizer), which keeps the per-unit computation model
+// identical to the distributed execution in package microdeep.
+package cnn
+
+import (
+	"fmt"
+
+	"zeiot/internal/tensor"
+)
+
+// Layer is one stage of the network.
+type Layer interface {
+	// Forward computes the layer output for in, caching whatever Backward
+	// needs.
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dLoss/dOutput and returns dLoss/dInput, also
+	// accumulating parameter gradients where applicable.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// OutShape returns the output shape for a given input shape.
+	OutShape(in []int) []int
+	// Name returns a short human-readable layer name.
+	Name() string
+}
+
+// ParamLayer is a layer with trainable parameters.
+type ParamLayer interface {
+	Layer
+	// Params returns the parameter tensors (mutated by optimizers).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned with Params. Gradients
+	// accumulate across Backward calls until ZeroGrads.
+	Grads() []*tensor.Tensor
+	// ZeroGrads clears accumulated gradients.
+	ZeroGrads()
+}
+
+// SpatialLayer is a layer whose output units sit at (channel, y, x)
+// coordinates and read a bounded receptive field of input units. Package
+// microdeep uses this to build the CNN unit graph it assigns to sensor
+// nodes.
+type SpatialLayer interface {
+	Layer
+	// Receptive returns, for output position (oy, ox), the inclusive input
+	// window [y0,y1]×[x0,x1] it reads (all input channels).
+	Receptive(oy, ox int) (y0, y1, x0, x1 int)
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	data := out.Data()
+	if cap(r.mask) < len(data) {
+		r.mask = make([]bool, len(data))
+	}
+	r.mask = r.mask[:len(data)]
+	for i, v := range data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != gradOut.Size() {
+		panic(fmt.Sprintf("cnn: ReLU backward before forward (mask %d, grad %d)", len(r.mask), gradOut.Size()))
+	}
+	in := gradOut.Clone()
+	data := in.Data()
+	for i := range data {
+		if !r.mask[i] {
+			data[i] = 0
+		}
+	}
+	return in
+}
+
+// Flatten reshapes any input to a 1-D vector.
+type Flatten struct {
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], in.Shape()...)
+	return in.Clone().Reshape(in.Size())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Clone().Reshape(f.inShape...)
+}

@@ -1,0 +1,218 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained with softmax cross-entropy.
+type Network struct {
+	layers  []Layer
+	inShape []int
+}
+
+// NewNetwork returns a network accepting inputs of the given shape.
+func NewNetwork(inShape []int, layers ...Layer) *Network {
+	n := &Network{layers: layers, inShape: append([]int(nil), inShape...)}
+	// Validate the stack once up front so geometry errors surface at
+	// construction, not mid-training.
+	shape := n.inShape
+	for _, l := range layers {
+		shape = l.OutShape(shape)
+	}
+	return n
+}
+
+// Layers returns the layer stack.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// InShape returns the input shape.
+func (n *Network) InShape() []int { return n.inShape }
+
+// OutShape returns the final output shape.
+func (n *Network) OutShape() []int {
+	shape := n.inShape
+	for _, l := range n.layers {
+		shape = l.OutShape(shape)
+	}
+	return shape
+}
+
+// Forward runs all layers and returns the logits.
+func (n *Network) Forward(in *tensor.Tensor) *tensor.Tensor {
+	x := in
+	for _, l := range n.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dLoss/dLogits through all layers, accumulating
+// parameter gradients.
+func (n *Network) Backward(gradLogits *tensor.Tensor) {
+	g := gradLogits
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+}
+
+// ZeroGrads clears gradients in every parameterized layer.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		if pl, ok := l.(ParamLayer); ok {
+			pl.ZeroGrads()
+		}
+	}
+}
+
+// Predict returns the argmax class for in.
+func (n *Network) Predict(in *tensor.Tensor) int {
+	return n.Forward(in).Argmax()
+}
+
+// Softmax returns the softmax of logits, computed stably.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	out := logits.Clone()
+	data := out.Data()
+	maxV := out.Max()
+	sum := 0.0
+	for i, v := range data {
+		e := math.Exp(v - maxV)
+		data[i] = e
+		sum += e
+	}
+	for i := range data {
+		data[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy returns the softmax cross-entropy loss for logits against the
+// integer label and the gradient dLoss/dLogits.
+func CrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	if label < 0 || label >= logits.Size() {
+		panic(fmt.Sprintf("cnn: label %d for %d classes", label, logits.Size()))
+	}
+	probs := Softmax(logits)
+	p := probs.Data()[label]
+	const eps = 1e-12
+	loss = -math.Log(p + eps)
+	grad = probs
+	grad.Data()[label] -= 1
+	return loss, grad
+}
+
+// Sample is one labelled training example.
+type Sample struct {
+	Input *tensor.Tensor
+	Label int
+}
+
+// SGD is a stochastic gradient descent optimizer with classical momentum
+// and optional L2 weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64
+	velocity map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD returns an optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Tensor]*tensor.Tensor)}
+}
+
+// Step applies one update: p -= lr*(g/batch + decay*p), with momentum.
+func (s *SGD) Step(params, grads []*tensor.Tensor, batch int) {
+	if len(params) != len(grads) {
+		panic("cnn: params/grads length mismatch")
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	inv := 1.0 / float64(batch)
+	for i, p := range params {
+		g := grads[i]
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Shape()...)
+			s.velocity[p] = v
+		}
+		pd, gd, vd := p.Data(), g.Data(), v.Data()
+		for j := range pd {
+			step := gd[j]*inv + s.Decay*pd[j]
+			vd[j] = s.Momentum*vd[j] - s.LR*step
+			pd[j] += vd[j]
+		}
+	}
+}
+
+// StepNetwork applies Step to every parameterized layer of n.
+func (s *SGD) StepNetwork(n *Network, batch int) {
+	for _, l := range n.layers {
+		if pl, ok := l.(ParamLayer); ok {
+			s.Step(pl.Params(), pl.Grads(), batch)
+		}
+	}
+}
+
+// TrainEpoch runs one epoch of mini-batch SGD over samples in the order
+// given by perm (pass stream.Perm(len(samples))). It returns the mean loss.
+func (n *Network) TrainEpoch(samples []Sample, perm []int, batch int, opt *SGD) float64 {
+	if batch <= 0 {
+		panic("cnn: non-positive batch size")
+	}
+	total := 0.0
+	count := 0
+	n.ZeroGrads()
+	inBatch := 0
+	for _, idx := range perm {
+		s := samples[idx]
+		logits := n.Forward(s.Input)
+		loss, grad := CrossEntropy(logits, s.Label)
+		total += loss
+		count++
+		n.Backward(grad)
+		inBatch++
+		if inBatch == batch {
+			opt.StepNetwork(n, inBatch)
+			n.ZeroGrads()
+			inBatch = 0
+		}
+	}
+	if inBatch > 0 {
+		opt.StepNetwork(n, inBatch)
+		n.ZeroGrads()
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Evaluate returns classification accuracy over samples.
+func (n *Network) Evaluate(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		if n.Predict(s.Input) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// Fit trains for epochs epochs with a fresh shuffle per epoch and returns
+// the final training loss.
+func (n *Network) Fit(samples []Sample, epochs, batch int, opt *SGD, stream *rng.Stream) float64 {
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		loss = n.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+	}
+	return loss
+}

@@ -1,0 +1,113 @@
+package cnn
+
+import (
+	"fmt"
+
+	"zeiot/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over (channels, height, width) input.
+type MaxPool2D struct {
+	Size, Stride int
+	inShape      []int
+	argmax       []int // flat input index of each output's max
+}
+
+var (
+	_ Layer        = (*MaxPool2D)(nil)
+	_ SpatialLayer = (*MaxPool2D)(nil)
+)
+
+// NewMaxPool2D returns a pooling layer with the given window size and
+// stride. A stride of 0 defaults to the window size (non-overlapping).
+func NewMaxPool2D(size, stride int) *MaxPool2D {
+	if size <= 0 {
+		panic("cnn: non-positive pool size")
+	}
+	if stride == 0 {
+		stride = size
+	}
+	if stride < 0 {
+		panic("cnn: negative pool stride")
+	}
+	return &MaxPool2D{Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", p.Size, p.Size) }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("cnn: pool input shape %v, want 3-d", in))
+	}
+	oh := (in[1]-p.Size)/p.Stride + 1
+	ow := (in[2]-p.Size)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: pool output collapses for input %v", in))
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Receptive implements SpatialLayer.
+func (p *MaxPool2D) Receptive(oy, ox int) (y0, y1, x0, x1 int) {
+	y0 = oy * p.Stride
+	x0 = ox * p.Stride
+	return y0, y0 + p.Size - 1, x0, x0 + p.Size - 1
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	p.inShape = append(p.inShape[:0], in.Shape()...)
+	outShape := p.OutShape(in.Shape())
+	ch, oh, ow := outShape[0], outShape[1], outShape[2]
+	h, w := in.Dim(1), in.Dim(2)
+	out := tensor.New(ch, oh, ow)
+	if cap(p.argmax) < out.Size() {
+		p.argmax = make([]int, out.Size())
+	}
+	p.argmax = p.argmax[:out.Size()]
+	idx := 0
+	for c := 0; c < ch; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := in.At(c, oy*p.Stride, ox*p.Stride)
+				bestFlat := (c*h+oy*p.Stride)*w + ox*p.Stride
+				for ky := 0; ky < p.Size; ky++ {
+					iy := oy*p.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						ix := ox*p.Stride + kx
+						if ix >= w {
+							break
+						}
+						v := in.At(c, iy, ix)
+						if v > best {
+							best = v
+							bestFlat = (c*h+iy)*w + ix
+						}
+					}
+				}
+				out.Set(best, c, oy, ox)
+				p.argmax[idx] = bestFlat
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(p.inShape) == 0 {
+		panic("cnn: MaxPool2D backward before forward")
+	}
+	gradIn := tensor.New(p.inShape...)
+	gi := gradIn.Data()
+	for i, g := range gradOut.Data() {
+		gi[p.argmax[i]] += g
+	}
+	return gradIn
+}

@@ -1,0 +1,106 @@
+package cnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"zeiot/internal/rng"
+)
+
+// netBlob is the gob wire format of a network: layer specs plus parameter
+// data, enough to rebuild an identical network without retraining.
+type netBlob struct {
+	InShape []int
+	Layers  []layerBlob
+}
+
+type layerBlob struct {
+	Kind string
+	// Conv fields.
+	InC, OutC, KH, KW, Stride, Pad int
+	// Pool fields.
+	Size, PoolStride int
+	// Dense fields.
+	In, Out int
+	// Params holds each parameter tensor's data in Params() order.
+	Params [][]float64
+}
+
+// Save writes the network (architecture and weights) to w.
+func (n *Network) Save(w io.Writer) error {
+	blob := netBlob{InShape: append([]int(nil), n.inShape...)}
+	for _, l := range n.layers {
+		var lb layerBlob
+		switch v := l.(type) {
+		case *Conv2D:
+			lb = layerBlob{Kind: "conv", InC: v.InC, OutC: v.OutC, KH: v.KH, KW: v.KW, Stride: v.Stride, Pad: v.Pad}
+		case *MaxPool2D:
+			lb = layerBlob{Kind: "maxpool", Size: v.Size, PoolStride: v.Stride}
+		case *AvgPool2D:
+			lb = layerBlob{Kind: "avgpool", Size: v.Size, PoolStride: v.Stride}
+		case *Dense:
+			lb = layerBlob{Kind: "dense", In: v.In, Out: v.Out}
+		case *ReLU:
+			lb = layerBlob{Kind: "relu"}
+		case *Flatten:
+			lb = layerBlob{Kind: "flatten"}
+		default:
+			return fmt.Errorf("cnn: cannot serialize layer %T", l)
+		}
+		if pl, ok := l.(ParamLayer); ok {
+			for _, p := range pl.Params() {
+				lb.Params = append(lb.Params, append([]float64(nil), p.Data()...))
+			}
+		}
+		blob.Layers = append(blob.Layers, lb)
+	}
+	return gob.NewEncoder(w).Encode(blob)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var blob netBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("cnn: decoding network: %w", err)
+	}
+	if len(blob.InShape) == 0 {
+		return nil, fmt.Errorf("cnn: blob has no input shape")
+	}
+	// Weights are overwritten below, so the init stream is irrelevant.
+	stream := rng.New(0)
+	var layers []Layer
+	for i, lb := range blob.Layers {
+		var l Layer
+		switch lb.Kind {
+		case "conv":
+			l = NewConv2D(lb.InC, lb.OutC, lb.KH, lb.KW, lb.Stride, lb.Pad, stream)
+		case "maxpool":
+			l = NewMaxPool2D(lb.Size, lb.PoolStride)
+		case "avgpool":
+			l = NewAvgPool2D(lb.Size, lb.PoolStride)
+		case "dense":
+			l = NewDense(lb.In, lb.Out, stream)
+		case "relu":
+			l = NewReLU()
+		case "flatten":
+			l = NewFlatten()
+		default:
+			return nil, fmt.Errorf("cnn: unknown layer kind %q at %d", lb.Kind, i)
+		}
+		if pl, ok := l.(ParamLayer); ok {
+			params := pl.Params()
+			if len(params) != len(lb.Params) {
+				return nil, fmt.Errorf("cnn: layer %d has %d params, blob has %d", i, len(params), len(lb.Params))
+			}
+			for pi, p := range params {
+				if len(lb.Params[pi]) != p.Size() {
+					return nil, fmt.Errorf("cnn: layer %d param %d size %d, blob has %d", i, pi, p.Size(), len(lb.Params[pi]))
+				}
+				copy(p.Data(), lb.Params[pi])
+			}
+		}
+		layers = append(layers, l)
+	}
+	return NewNetwork(blob.InShape, layers...), nil
+}

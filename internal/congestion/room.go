@@ -1,0 +1,229 @@
+package congestion
+
+import (
+	"fmt"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/ml"
+	"zeiot/internal/radio"
+	"zeiot/internal/rng"
+	"zeiot/internal/wsn"
+)
+
+// RoomConfig describes the already-deployed IEEE 802.15.4 WSN of ref. [66]
+// and the room it monitors.
+type RoomConfig struct {
+	// Rows, Cols, Spacing lay out the sensor grid.
+	Rows, Cols int
+	Spacing    float64
+	// Model is the propagation model; NodeTxDBm the sensor transmit
+	// power; PhoneTxDBm the power of the Wi-Fi devices people carry.
+	Model      radio.LogDistance
+	NodeTxDBm  float64
+	PhoneTxDBm float64
+	// BodyRadius models people as attenuating cylinders on sensor links.
+	BodyRadius float64
+	// MaxPeople bounds the counting range.
+	MaxPeople int
+	// NoiseDBm is the surrounding-RSSI noise floor.
+	NoiseDBm float64
+	// Sweeps is the number of synchronized measurement rounds averaged
+	// into one sample (Choco's simultaneous transmissions make repeated
+	// sweeps cheap; averaging suppresses shadowing noise).
+	Sweeps int
+	// Mode selects which measurements feed the estimator. Ref. [66]
+	// estimates the number of PEOPLE from the inter-node RSSI (bodies
+	// block links) and the number of DEVICES from the surrounding RSSI
+	// (phones add power); fusing both is this repository's default.
+	Mode RoomFeatureMode
+}
+
+// RoomFeatureMode selects the measurement subset.
+type RoomFeatureMode int
+
+// Feature modes.
+const (
+	// RoomFused uses both measurement kinds (default).
+	RoomFused RoomFeatureMode = iota
+	// RoomLinksOnly uses inter-node RSSI attenuation only — the paper's
+	// people counter.
+	RoomLinksOnly
+	// RoomSurroundingOnly uses surrounding RSSI only — the paper's
+	// device counter.
+	RoomSurroundingOnly
+)
+
+// DefaultRoomConfig returns the laboratory-scale deployment of ref. [66]:
+// a 4×4 grid at 2 m spacing counting up to 10 people.
+func DefaultRoomConfig() RoomConfig {
+	return RoomConfig{
+		Rows: 4, Cols: 4, Spacing: 2,
+		Model:      radio.LogDistance{RefLossDB: 40, RefDist: 1, Exponent: 2.8, ShadowSigmaDB: 2.5},
+		NodeTxDBm:  0,
+		PhoneTxDBm: 5,
+		BodyRadius: 0.3,
+		MaxPeople:  10,
+		NoiseDBm:   -95,
+		Sweeps:     5,
+	}
+}
+
+// RoomSample is one synchronized measurement sweep with ground truth.
+type RoomSample struct {
+	People   int
+	Features []float64
+}
+
+// roomFeatures condenses cfg.Sweeps synchronized rounds into the
+// estimator's feature vector: mean and variance of inter-node RSSI
+// attenuation relative to the empty-room expectation (people block links),
+// the fraction of links attenuated by more than half a body loss, the mean
+// surrounding RSSI in dBm, and the mean surrounding power in linear µW —
+// device power adds linearly per phone, making the linear feature nearly
+// proportional to the device count.
+func roomFeatures(cfg RoomConfig, net *wsn.Network, people []geom.Point, stream *rng.Stream) []float64 {
+	sweeps := cfg.Sweeps
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	acc := make([]float64, 5)
+	for sweep := 0; sweep < sweeps; sweep++ {
+		links := net.MeasureInterNode(cfg.Model, cfg.NodeTxDBm, people, cfg.BodyRadius, stream)
+		meanAtt, varAtt, blocked := 0.0, 0.0, 0.0
+		for _, l := range links {
+			expect := cfg.Model.RSSI(cfg.NodeTxDBm, 0, 0, geom.Dist(net.Node(l.From).Pos, net.Node(l.To).Pos), nil)
+			att := expect - l.DBm
+			meanAtt += att
+			varAtt += att * att
+			if att > radio.BodyAttenuationDB/2 {
+				blocked++
+			}
+		}
+		n := float64(len(links))
+		if n > 0 {
+			meanAtt /= n
+			varAtt = varAtt/n - meanAtt*meanAtt
+			blocked /= n
+		}
+		sur := net.MeasureSurrounding(cfg.Model, cfg.PhoneTxDBm, people, cfg.NoiseDBm, stream)
+		meanSur, meanPowerUW := 0.0, 0.0
+		for _, v := range sur {
+			meanSur += v
+			meanPowerUW += radio.DBmToMilliwatts(v) * 1000
+		}
+		if len(sur) > 0 {
+			meanSur /= float64(len(sur))
+			meanPowerUW /= float64(len(sur))
+		}
+		acc[0] += meanAtt
+		acc[1] += varAtt
+		acc[2] += blocked
+		acc[3] += meanSur
+		acc[4] += meanPowerUW
+	}
+	for i := range acc {
+		acc[i] /= float64(sweeps)
+	}
+	switch cfg.Mode {
+	case RoomLinksOnly:
+		return acc[:3:3]
+	case RoomSurroundingOnly:
+		return acc[3:5:5]
+	default:
+		return acc
+	}
+}
+
+// GenerateRoomSample draws nPeople uniform positions and measures one
+// sweep.
+func GenerateRoomSample(cfg RoomConfig, net *wsn.Network, nPeople int, stream *rng.Stream) RoomSample {
+	people := make([]geom.Point, nPeople)
+	w := float64(cfg.Cols-1) * cfg.Spacing
+	h := float64(cfg.Rows-1) * cfg.Spacing
+	for i := range people {
+		people[i] = geom.Point{X: stream.Float64() * w, Y: stream.Float64() * h}
+	}
+	return RoomSample{People: nPeople, Features: roomFeatures(cfg, net, people, stream)}
+}
+
+// RoomEstimator counts people from synchronized RSSI sweeps.
+type RoomEstimator struct {
+	cfg RoomConfig
+	net *wsn.Network
+	std *ml.Standardizer
+	clf ml.Classifier
+}
+
+// TrainRoomEstimator builds the counting model from samplesPerCount
+// simulated sweeps at every occupancy 0..MaxPeople.
+func TrainRoomEstimator(cfg RoomConfig, samplesPerCount int, stream *rng.Stream) (*RoomEstimator, error) {
+	if samplesPerCount < 2 {
+		return nil, fmt.Errorf("congestion: need >= 2 samples per count, got %d", samplesPerCount)
+	}
+	net := wsn.NewGrid(cfg.Rows, cfg.Cols, cfg.Spacing)
+	var data ml.Dataset
+	for n := 0; n <= cfg.MaxPeople; n++ {
+		for i := 0; i < samplesPerCount; i++ {
+			s := GenerateRoomSample(cfg, net, n, stream)
+			data.X = append(data.X, s.Features)
+			data.Y = append(data.Y, s.People)
+		}
+	}
+	std := ml.FitStandardizer(data)
+	clf, err := ml.KNN{K: 5}.Fit(std.Apply(data))
+	if err != nil {
+		return nil, fmt.Errorf("congestion: fitting room model: %w", err)
+	}
+	return &RoomEstimator{cfg: cfg, net: net, std: std, clf: clf}, nil
+}
+
+// Network returns the estimator's sensor network (useful for generating
+// test sweeps on the identical deployment).
+func (e *RoomEstimator) Network() *wsn.Network { return e.net }
+
+// Count estimates the number of people from a feature vector.
+func (e *RoomEstimator) Count(features []float64) int {
+	one := ml.Dataset{X: [][]float64{features}, Y: []int{0}}
+	return e.clf.Predict(e.std.Apply(one).X[0])
+}
+
+// RoomResult summarizes an evaluation of the counting estimator.
+type RoomResult struct {
+	Exact    float64 // fraction with zero error
+	Within2  float64 // fraction with |error| <= 2 (the paper's bound)
+	MeanAbs  float64
+	MaxError int
+}
+
+// EvaluateRoom scores the estimator over trials fresh sweeps per count.
+func EvaluateRoom(e *RoomEstimator, trials int, stream *rng.Stream) RoomResult {
+	var res RoomResult
+	total := 0
+	for n := 0; n <= e.cfg.MaxPeople; n++ {
+		for i := 0; i < trials; i++ {
+			s := GenerateRoomSample(e.cfg, e.net, n, stream)
+			got := e.Count(s.Features)
+			err := got - n
+			if err < 0 {
+				err = -err
+			}
+			if err == 0 {
+				res.Exact++
+			}
+			if err <= 2 {
+				res.Within2++
+			}
+			res.MeanAbs += float64(err)
+			if err > res.MaxError {
+				res.MaxError = err
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		res.Exact /= float64(total)
+		res.Within2 /= float64(total)
+		res.MeanAbs /= float64(total)
+	}
+	return res
+}

@@ -1,0 +1,211 @@
+package csi
+
+import (
+	"fmt"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/radio"
+	"zeiot/internal/rng"
+)
+
+// FeedbackConfig describes the VHT compressed beamforming geometry.
+type FeedbackConfig struct {
+	// TxAntennas (Nt) at the beamformer, RxAntennas (Nr) at the beamformee.
+	TxAntennas, RxAntennas int
+	// Nc is the number of feedback columns.
+	Nc int
+	// Subcarriers carried in one report.
+	Subcarriers int
+	// CenterHz and SpacingHz position the subcarriers.
+	CenterHz, SpacingHz float64
+}
+
+// PaperFeedback returns the configuration matching ref. [8]'s 624-feature
+// extraction: 4×3 feedback (12 angles) over 52 subcarriers at 5.2 GHz.
+func PaperFeedback() FeedbackConfig {
+	return FeedbackConfig{
+		TxAntennas:  4,
+		RxAntennas:  3,
+		Nc:          3,
+		Subcarriers: 52,
+		CenterHz:    5.2e9,
+		SpacingHz:   312.5e3,
+	}
+}
+
+// NumFeatures returns the feature-vector length the config produces.
+func (c FeedbackConfig) NumFeatures() int {
+	phi, psi := NumAngles(c.TxAntennas, c.Nc)
+	return (phi + psi) * c.Subcarriers
+}
+
+// Features converts per-subcarrier channel matrices (each Nr×Nt) into the
+// learning system's feature vector: the φ and ψ angles of every
+// subcarrier's compressed beamforming report, concatenated.
+func (c FeedbackConfig) Features(channels []Matrix) ([]float64, error) {
+	if len(channels) != c.Subcarriers {
+		return nil, fmt.Errorf("csi: %d channel matrices, want %d", len(channels), c.Subcarriers)
+	}
+	var out []float64
+	for k, h := range channels {
+		if h.Rows() != c.RxAntennas || h.Cols() != c.TxAntennas {
+			return nil, fmt.Errorf("csi: subcarrier %d channel is %dx%d, want %dx%d",
+				k, h.Rows(), h.Cols(), c.RxAntennas, c.TxAntennas)
+		}
+		v := BeamformingV(h, c.Nc)
+		a := Compress(v)
+		out = append(out, a.Phi...)
+		out = append(out, a.Psi...)
+	}
+	return out, nil
+}
+
+// SceneConfig builds the simulated room of the localization experiment:
+// an AP with TxAntennas antennas, a capture client, fixed furniture
+// scatterers, and a person standing or walking at one of the candidate
+// positions.
+type SceneConfig struct {
+	Feedback FeedbackConfig
+	// AP and Client are the antenna-array centres.
+	AP, Client geom.Point
+	// AntennaSpread is the AP antenna separation in metres: large spreads
+	// model the paper's "divergent" antenna orientations, small spreads
+	// the degenerate parallel case.
+	AntennaSpread float64
+	// ClientSpread is the client antenna separation.
+	ClientSpread float64
+	// Furniture are the static scatterers of the room.
+	Furniture []radio.Scatterer
+	// PersonReflectivity scales the person's radar cross-section (walking
+	// bodies modulate the channel far more strongly than still ones).
+	PersonReflectivity float64
+	// MotionJitter is the per-snapshot random displacement of the person
+	// in metres (within-capture micro-motion).
+	MotionJitter float64
+	// NoiseRel is the receiver noise floor, expressed as a fraction of the
+	// direct-path amplitude, added per subcarrier and antenna pair. It is
+	// what makes weakly-scattering (still) people hard to localize.
+	NoiseRel float64
+}
+
+// Pattern is one behaviour × antenna-orientation combination of the
+// paper's six evaluation patterns.
+type Pattern struct {
+	Name               string
+	Walking            bool
+	AntennaSpread      float64
+	PersonReflectivity float64
+	MotionJitter       float64
+}
+
+// PaperPatterns returns the six behaviour/orientation combinations of
+// ref. [8]'s evaluation: {walking, standing} × {divergent, mixed,
+// parallel} antenna orientations.
+func PaperPatterns() []Pattern {
+	spreads := []struct {
+		name  string
+		value float64
+	}{
+		{"divergent", 0.40},
+		{"mixed", 0.12},
+		{"parallel", 0.02},
+	}
+	var out []Pattern
+	for _, sp := range spreads {
+		// A walking body is a strong, constantly re-oriented scatterer
+		// (high effective RCS); a still body reflects weakly. Per-frame
+		// displacement stays small — one VHT capture is milliseconds —
+		// so the jitter below is within-frame micro-motion, not stride
+		// length.
+		out = append(out,
+			Pattern{Name: "walk/" + sp.name, Walking: true, AntennaSpread: sp.value, PersonReflectivity: 0.9, MotionJitter: 0.01},
+			Pattern{Name: "stand/" + sp.name, Walking: false, AntennaSpread: sp.value, PersonReflectivity: 0.12, MotionJitter: 0.005},
+		)
+	}
+	return out
+}
+
+// DefaultRoom returns a 8×6 m room with AP and client in opposite corners
+// and three furniture scatterers.
+func DefaultRoom(p Pattern) SceneConfig {
+	return SceneConfig{
+		Feedback:      PaperFeedback(),
+		AP:            geom.Point{X: 0.5, Y: 0.5},
+		Client:        geom.Point{X: 7.5, Y: 5.5},
+		AntennaSpread: p.AntennaSpread,
+		ClientSpread:  0.06,
+		Furniture: []radio.Scatterer{
+			{Pos: geom.Point{X: 2.0, Y: 4.5}, Reflectivity: 0.5},
+			{Pos: geom.Point{X: 6.0, Y: 1.0}, Reflectivity: 0.4},
+			{Pos: geom.Point{X: 4.0, Y: 3.0}, Reflectivity: 0.3},
+		},
+		PersonReflectivity: p.PersonReflectivity,
+		MotionJitter:       p.MotionJitter,
+		NoiseRel:           0.12,
+	}
+}
+
+// SevenPositions returns the candidate person positions of the
+// localization task.
+func SevenPositions() []geom.Point {
+	return []geom.Point{
+		{X: 1.5, Y: 1.5}, {X: 4.0, Y: 1.0}, {X: 6.5, Y: 1.5},
+		{X: 2.0, Y: 3.0}, {X: 6.0, Y: 4.0},
+		{X: 1.5, Y: 5.0}, {X: 4.5, Y: 5.0},
+	}
+}
+
+// Snapshot generates the per-subcarrier channel matrices for a person near
+// pos, drawing motion jitter and measurement noise from stream.
+func (sc SceneConfig) Snapshot(pos geom.Point, stream *rng.Stream) []Matrix {
+	fb := sc.Feedback
+	person := radio.Scatterer{
+		Pos: geom.Point{
+			X: pos.X + stream.NormMeanStd(0, sc.MotionJitter),
+			Y: pos.Y + stream.NormMeanStd(0, sc.MotionJitter),
+		},
+		Reflectivity: sc.PersonReflectivity,
+	}
+	txPos := antennaLine(sc.AP, sc.AntennaSpread, fb.TxAntennas)
+	rxPos := antennaLine(sc.Client, sc.ClientSpread, fb.RxAntennas)
+	channels := make([]Matrix, fb.Subcarriers)
+	// Build per-antenna-pair multipath channels once, then sample each
+	// subcarrier frequency.
+	pairs := make([][]radio.MultipathChannel, fb.RxAntennas)
+	for r := 0; r < fb.RxAntennas; r++ {
+		pairs[r] = make([]radio.MultipathChannel, fb.TxAntennas)
+		for t := 0; t < fb.TxAntennas; t++ {
+			scene := radio.Scene{
+				TX:         txPos[t],
+				RX:         rxPos[r],
+				CenterHz:   fb.CenterHz,
+				Scatterers: append(append([]radio.Scatterer(nil), sc.Furniture...), person),
+			}
+			pairs[r][t] = scene.Channel(stream)
+		}
+	}
+	// Receiver noise floor, absolute: scaled to the direct-path amplitude.
+	direct := radio.SpeedOfLight / fb.CenterHz / (4 * 3.141592653589793 * geom.Dist(sc.AP, sc.Client))
+	sigma := sc.NoiseRel * direct
+	for k := 0; k < fb.Subcarriers; k++ {
+		f := fb.CenterHz + (float64(k)-float64(fb.Subcarriers-1)/2)*fb.SpacingHz
+		h := NewMatrix(fb.RxAntennas, fb.TxAntennas)
+		for r := 0; r < fb.RxAntennas; r++ {
+			for t := 0; t < fb.TxAntennas; t++ {
+				h[r][t] = pairs[r][t].FrequencyResponse(f) +
+					complex(stream.NormMeanStd(0, sigma), stream.NormMeanStd(0, sigma))
+			}
+		}
+		channels[k] = h
+	}
+	return channels
+}
+
+func antennaLine(center geom.Point, spread float64, n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		off := (float64(i) - float64(n-1)/2) * spread
+		out[i] = geom.Point{X: center.X + off, Y: center.Y + off/2}
+	}
+	return out
+}

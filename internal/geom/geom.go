@@ -1,0 +1,110 @@
+// Package geom provides the small amount of 2-D geometry shared by the
+// zeiot simulators: points, distances, and segment/circle intersection used
+// to model humans as attenuating obstacles on radio links.
+package geom
+
+import "math"
+
+// Point is a position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by a.
+func (p Point) Scale(a float64) Point { return Point{a * p.X, a * p.Y} }
+
+// Norm returns the Euclidean norm of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// SegmentPointDist returns the distance from point c to segment ab.
+func SegmentPointDist(a, b, c Point) float64 {
+	ab := b.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return Dist(a, c)
+	}
+	t := ((c.X-a.X)*ab.X + (c.Y-a.Y)*ab.Y) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	closest := a.Add(ab.Scale(t))
+	return Dist(closest, c)
+}
+
+// SegmentIntersectsCircle reports whether segment ab passes within radius r
+// of centre c — the test used to decide whether a person standing at c
+// shadows the radio link a→b.
+func SegmentIntersectsCircle(a, b, c Point, r float64) bool {
+	return SegmentPointDist(a, b, c) <= r
+}
+
+// orient returns the orientation of the triple (a, b, c): positive for
+// counter-clockwise, negative for clockwise, zero for collinear.
+func orient(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X)-1e-12 <= p.X && p.X <= math.Max(a.X, b.X)+1e-12 &&
+		math.Min(a.Y, b.Y)-1e-12 <= p.Y && p.Y <= math.Max(a.Y, b.Y)+1e-12
+}
+
+// SegmentsIntersect reports whether segments ab and cd intersect
+// (including touching endpoints and collinear overlap) — the test used to
+// decide whether a wall blocks a radio link.
+func SegmentsIntersect(a, b, c, d Point) bool {
+	o1 := orient(a, b, c)
+	o2 := orient(a, b, d)
+	o3 := orient(c, d, a)
+	o4 := orient(c, d, b)
+	if ((o1 > 0 && o2 < 0) || (o1 < 0 && o2 > 0)) &&
+		((o3 > 0 && o4 < 0) || (o3 < 0 && o4 > 0)) {
+		return true
+	}
+	switch {
+	case o1 == 0 && onSegment(a, b, c):
+		return true
+	case o2 == 0 && onSegment(a, b, d):
+		return true
+	case o3 == 0 && onSegment(c, d, a):
+		return true
+	case o4 == 0 && onSegment(c, d, b):
+		return true
+	}
+	return false
+}
+
+// ClampInt limits v to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,96 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v", d)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if n := (Point{3, 4}).Norm(); n != 5 {
+		t.Fatalf("Norm = %v", n)
+	}
+}
+
+func TestSegmentPointDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},  // perpendicular inside
+		{Point{-4, 3}, 5}, // beyond a
+		{Point{13, 4}, 5}, // beyond b
+		{Point{5, 0}, 0},  // on segment
+		{Point{0, 0}, 0},  // at endpoint
+	}
+	for _, tc := range cases {
+		if got := SegmentPointDist(a, b, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("SegmentPointDist(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestDegenerateSegment(t *testing.T) {
+	a := Point{2, 2}
+	if got := SegmentPointDist(a, a, Point{5, 6}); got != 5 {
+		t.Fatalf("degenerate segment dist = %v", got)
+	}
+}
+
+func TestSegmentIntersectsCircle(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	if !SegmentIntersectsCircle(a, b, Point{5, 0.2}, 0.3) {
+		t.Fatal("person on link not detected")
+	}
+	if SegmentIntersectsCircle(a, b, Point{5, 2}, 0.3) {
+		t.Fatal("person far from link detected")
+	}
+	if SegmentIntersectsCircle(a, b, Point{-2, 0}, 0.3) {
+		t.Fatal("person behind endpoint detected")
+	}
+}
+
+func TestSegmentPointDistSymmetry(t *testing.T) {
+	// Property: distance is symmetric under swapping segment endpoints.
+	err := quick.Check(func(ax, ay, bx, by, cx, cy float64) bool {
+		clip := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		a := Point{clip(ax), clip(ay)}
+		b := Point{clip(bx), clip(by)}
+		c := Point{clip(cx), clip(cy)}
+		d1 := SegmentPointDist(a, b, c)
+		d2 := SegmentPointDist(b, a, c)
+		return math.Abs(d1-d2) < 1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+}

@@ -1,0 +1,205 @@
+// Package har implements use case (ii) of §III.C — activity recognition of
+// athletes — with zero-energy hardware only: the athlete wears a small bank
+// of spring accelerometers (internal/sensors) with staggered resonant
+// frequencies, each backscattering a 1-bit contact state. The fraction of
+// time each resonator chatters during a window is a mechanical, battery-free
+// band-power estimate of the movement, and a classical classifier on those
+// chatter rates recognizes the activity.
+//
+// The pipeline is: activity → acceleration waveform → resonator bank →
+// chatter-rate feature vector → classifier. Everything before the
+// classifier costs zero electrical energy.
+package har
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/ml"
+	"zeiot/internal/rng"
+	"zeiot/internal/sensors"
+)
+
+// Activity is one recognized movement class.
+type Activity int
+
+// Activities.
+const (
+	ActivityStand Activity = iota
+	ActivityWalk
+	ActivityRun
+	ActivityJump
+	ActivitySquat
+	numActivities
+)
+
+func (a Activity) String() string {
+	switch a {
+	case ActivityStand:
+		return "stand"
+	case ActivityWalk:
+		return "walk"
+	case ActivityRun:
+		return "run"
+	case ActivityJump:
+		return "jump"
+	case ActivitySquat:
+		return "squat"
+	default:
+		return fmt.Sprintf("Activity(%d)", int(a))
+	}
+}
+
+// NumActivities returns the class count.
+func NumActivities() int { return int(numActivities) }
+
+// Config parameterizes waveform generation and the sensor bank.
+type Config struct {
+	// SampleHz is the acceleration sampling/simulation rate.
+	SampleHz float64
+	// WindowSec is the classification window length.
+	WindowSec float64
+	// BankHz are the resonant frequencies of the accelerometer bank.
+	BankHz []float64
+	// NoiseG is the acceleration noise floor (in g units).
+	NoiseG float64
+}
+
+// DefaultConfig returns a 4-resonator bank covering the human movement
+// band.
+func DefaultConfig() Config {
+	return Config{
+		SampleHz:  200,
+		WindowSec: 4,
+		BankHz:    []float64{1.2, 2.2, 3.5, 6.0},
+		NoiseG:    0.05,
+	}
+}
+
+// waveform returns the vertical acceleration (in g) of one window of the
+// activity, with per-subject tempo/intensity variation drawn from stream.
+func waveform(cfg Config, a Activity, stream *rng.Stream) []float64 {
+	n := int(cfg.SampleHz * cfg.WindowSec)
+	out := make([]float64, n)
+	tempo := 1 + stream.NormMeanStd(0, 0.08)
+	intensity := 1 + stream.NormMeanStd(0, 0.1)
+	for i := 0; i < n; i++ {
+		t := float64(i) / cfg.SampleHz
+		v := 0.0
+		switch a {
+		case ActivityStand:
+			// Postural sway only.
+			v = 0.02 * math.Sin(2*math.Pi*0.3*tempo*t)
+		case ActivityWalk:
+			// ~2 Hz steps with a heel-strike harmonic.
+			f := 1.9 * tempo
+			v = intensity * (0.35*math.Sin(2*math.Pi*f*t) + 0.12*math.Sin(2*math.Pi*2*f*t))
+		case ActivityRun:
+			// ~3 Hz strides, much larger impacts.
+			f := 2.9 * tempo
+			v = intensity * (1.1*math.Sin(2*math.Pi*f*t) + 0.4*math.Sin(2*math.Pi*2*f*t))
+		case ActivityJump:
+			// Repeated ~0.7 Hz jumps: ballistic burst + landing spike.
+			f := 0.7 * tempo
+			phase := math.Mod(f*t, 1)
+			if phase < 0.15 {
+				v = 2.2 * intensity * math.Sin(math.Pi*phase/0.15)
+			}
+		case ActivitySquat:
+			// Slow ~0.5 Hz deep oscillation, no impacts.
+			f := 0.5 * tempo
+			v = 0.5 * intensity * math.Sin(2*math.Pi*f*t)
+		}
+		out[i] = v + stream.NormMeanStd(0, cfg.NoiseG)
+	}
+	return out
+}
+
+// Features runs the acceleration window through a fresh resonator bank and
+// returns each resonator's chatter rate — the zero-energy feature vector.
+func Features(cfg Config, accel []float64) ([]float64, error) {
+	out := make([]float64, len(cfg.BankHz))
+	tick := 1 / cfg.SampleHz
+	for i, f := range cfg.BankHz {
+		res, err := sensors.NewSpringAccelerometer(f, 0.08, 0.004, tick)
+		if err != nil {
+			return nil, fmt.Errorf("har: resonator %v Hz: %w", f, err)
+		}
+		closed := 0
+		for _, a := range accel {
+			closed += res.Step(a)
+		}
+		out[i] = float64(closed) / float64(len(accel))
+	}
+	return out, nil
+}
+
+// GenerateDataset produces windowsPerClass labelled feature vectors per
+// activity.
+func GenerateDataset(cfg Config, windowsPerClass int, stream *rng.Stream) (ml.Dataset, error) {
+	var d ml.Dataset
+	for a := Activity(0); a < numActivities; a++ {
+		for i := 0; i < windowsPerClass; i++ {
+			accel := waveform(cfg, a, stream.Split(fmt.Sprintf("w-%d-%d", a, i)))
+			feat, err := Features(cfg, accel)
+			if err != nil {
+				return ml.Dataset{}, err
+			}
+			d.X = append(d.X, feat)
+			d.Y = append(d.Y, int(a))
+		}
+	}
+	return d, nil
+}
+
+// Recognizer is a trained activity classifier over chatter-rate features.
+type Recognizer struct {
+	cfg Config
+	std *ml.Standardizer
+	clf ml.Classifier
+}
+
+// Train builds a recognizer from windowsPerClass training windows per
+// activity.
+func Train(cfg Config, windowsPerClass int, stream *rng.Stream) (*Recognizer, error) {
+	if windowsPerClass < 2 {
+		return nil, fmt.Errorf("har: need >= 2 windows per class, got %d", windowsPerClass)
+	}
+	data, err := GenerateDataset(cfg, windowsPerClass, stream)
+	if err != nil {
+		return nil, err
+	}
+	std := ml.FitStandardizer(data)
+	clf, err := ml.KNN{K: 5}.Fit(std.Apply(data))
+	if err != nil {
+		return nil, fmt.Errorf("har: fitting classifier: %w", err)
+	}
+	return &Recognizer{cfg: cfg, std: std, clf: clf}, nil
+}
+
+// Classify recognizes the activity of one acceleration window.
+func (r *Recognizer) Classify(accel []float64) (Activity, error) {
+	feat, err := Features(r.cfg, accel)
+	if err != nil {
+		return 0, err
+	}
+	one := ml.Dataset{X: [][]float64{feat}, Y: []int{0}}
+	return Activity(r.clf.Predict(r.std.Apply(one).X[0])), nil
+}
+
+// Evaluate scores the recognizer over trials fresh windows per activity and
+// returns the confusion matrix.
+func (r *Recognizer) Evaluate(trials int, stream *rng.Stream) (*ml.ConfusionMatrix, error) {
+	cm := ml.NewConfusionMatrix(NumActivities())
+	for a := Activity(0); a < numActivities; a++ {
+		for i := 0; i < trials; i++ {
+			accel := waveform(r.cfg, a, stream.Split(fmt.Sprintf("e-%d-%d", a, i)))
+			got, err := r.Classify(accel)
+			if err != nil {
+				return nil, err
+			}
+			cm.Add(int(a), int(got))
+		}
+	}
+	return cm, nil
+}

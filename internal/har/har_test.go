@@ -1,0 +1,129 @@
+package har
+
+import (
+	"testing"
+
+	"zeiot/internal/rng"
+)
+
+func TestActivityStrings(t *testing.T) {
+	want := map[Activity]string{
+		ActivityStand: "stand", ActivityWalk: "walk", ActivityRun: "run",
+		ActivityJump: "jump", ActivitySquat: "squat",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if NumActivities() != 5 {
+		t.Fatalf("NumActivities = %d", NumActivities())
+	}
+}
+
+func TestFeaturesShapeAndRange(t *testing.T) {
+	cfg := DefaultConfig()
+	accel := waveform(cfg, ActivityRun, rng.New(1))
+	feat, err := Features(cfg, accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) != len(cfg.BankHz) {
+		t.Fatalf("features = %d, want %d", len(feat), len(cfg.BankHz))
+	}
+	for i, f := range feat {
+		if f < 0 || f > 1 {
+			t.Fatalf("chatter rate %d = %v out of [0,1]", i, f)
+		}
+	}
+}
+
+func TestFeaturesSeparateIntensity(t *testing.T) {
+	cfg := DefaultConfig()
+	s := rng.New(2)
+	sum := func(a Activity) float64 {
+		feat, err := Features(cfg, waveform(cfg, a, s.Split("x")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, f := range feat {
+			total += f
+		}
+		return total
+	}
+	stand := sum(ActivityStand)
+	run := sum(ActivityRun)
+	if run <= stand {
+		t.Fatalf("running chatter %v not above standing %v", run, stand)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(DefaultConfig(), 1, rng.New(1)); err == nil {
+		t.Fatal("1 window per class accepted")
+	}
+}
+
+func TestRecognizerAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	stream := rng.New(3)
+	r, err := Train(cfg, 12, stream.Split("train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := r.Evaluate(8, stream.Split("eval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := cm.Accuracy(); acc < 0.8 {
+		t.Fatalf("activity recognition accuracy = %.3f", acc)
+	}
+}
+
+func TestRecognizerDistinguishesWalkRun(t *testing.T) {
+	cfg := DefaultConfig()
+	stream := rng.New(4)
+	r, err := Train(cfg, 12, stream.Split("train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		gotWalk, err := r.Classify(waveform(cfg, ActivityWalk, stream.Split("w")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRun, err := r.Classify(waveform(cfg, ActivityRun, stream.Split("r")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotWalk == ActivityWalk && gotRun == ActivityRun {
+			hits++
+		}
+	}
+	if hits < trials*7/10 {
+		t.Fatalf("walk/run pair recognized in only %d of %d trials", hits, trials)
+	}
+}
+
+func TestDatasetBalanced(t *testing.T) {
+	cfg := DefaultConfig()
+	d, err := GenerateDataset(cfg, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4*NumActivities() {
+		t.Fatalf("dataset size = %d", d.Len())
+	}
+	counts := make([]int, NumActivities())
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for a, c := range counts {
+		if c != 4 {
+			t.Fatalf("class %d has %d samples", a, c)
+		}
+	}
+}

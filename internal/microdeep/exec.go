@@ -1,0 +1,178 @@
+package microdeep
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/tensor"
+)
+
+// Executor runs the distributed forward pass site by site, exactly as the
+// sensor nodes would: each site's output vector is computed from its
+// dependencies' vectors using the owning layer's weights. The numeric
+// result is identical to the centralized cnn.Network forward pass — the
+// package's property tests enforce this — so distribution itself costs no
+// accuracy, only communication.
+type Executor struct {
+	graph *Graph
+	// KernelFor, when non-nil, selects the convolution kernel used for a
+	// conv site (replica mode); nil uses the layer's shared weights.
+	KernelFor func(stage int, s Site) *tensor.Tensor
+	// Assign and DeadNodes, when set together, model broken devices (the
+	// §V resilience challenge): a site assigned to a dead node produces
+	// zeros — its value simply never appears on the network. DeadSites
+	// silences individual sites directly (e.g. the readings of sensors
+	// that died before a reassignment moved their compute elsewhere).
+	Assign    *Assignment
+	DeadNodes map[int]bool
+	DeadSites map[int]bool
+}
+
+func (e *Executor) siteDead(sid int) bool {
+	if e.DeadSites[sid] {
+		return true
+	}
+	if e.Assign == nil || len(e.DeadNodes) == 0 {
+		return false
+	}
+	return e.DeadNodes[e.Assign.NodeOf[sid]]
+}
+
+// NewExecutor returns an executor for g with shared weights.
+func NewExecutor(g *Graph) *Executor { return &Executor{graph: g} }
+
+// Forward computes the network output for input (shape must match the input
+// stage) and returns the final stage's outputs as a flat tensor (for a
+// dense head: the logits).
+func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
+	g := e.graph
+	inSt := g.Stages[0]
+	shape := input.Shape()
+	if len(shape) != 3 || shape[0] != inSt.C || shape[1] != inSt.H || shape[2] != inSt.W {
+		return nil, fmt.Errorf("microdeep: input shape %v, want (%d,%d,%d)", shape, inSt.C, inSt.H, inSt.W)
+	}
+	values := make([][]float64, len(g.Sites))
+	for _, sid := range inSt.Sites {
+		s := g.Sites[sid]
+		v := make([]float64, inSt.C)
+		if !e.siteDead(sid) {
+			for c := 0; c < inSt.C; c++ {
+				v[c] = input.At(c, s.Y, s.X)
+			}
+		}
+		values[sid] = v
+	}
+	for si := 1; si < len(g.Stages); si++ {
+		st := g.Stages[si]
+		prev := g.Stages[si-1]
+		for _, sid := range st.Sites {
+			s := g.Sites[sid]
+			if e.siteDead(sid) {
+				values[sid] = make([]float64, s.Width)
+				continue
+			}
+			var out []float64
+			switch st.Kind {
+			case StageConv:
+				out = e.convSite(si, st, s, values)
+			case StagePool:
+				out = poolSite(st, s, g, values)
+			case StageDense:
+				out = denseSite(st, prev, s, g, values)
+			default:
+				return nil, fmt.Errorf("microdeep: cannot execute stage kind %v", st.Kind)
+			}
+			if st.FusedReLU {
+				for i, v := range out {
+					if v < 0 {
+						out[i] = 0
+					}
+				}
+			}
+			values[sid] = out
+		}
+	}
+	last := g.Stages[len(g.Stages)-1]
+	var flat []float64
+	for _, sid := range last.Sites {
+		flat = append(flat, values[sid]...)
+	}
+	return tensor.FromSlice(flat, len(flat)), nil
+}
+
+func (e *Executor) convSite(stage int, st Stage, s Site, values [][]float64) []float64 {
+	conv := st.Conv
+	kernel := conv.Weight()
+	if e.KernelFor != nil {
+		if k := e.KernelFor(stage, s); k != nil {
+			kernel = k
+		}
+	}
+	out := make([]float64, st.C)
+	for oc := 0; oc < st.C; oc++ {
+		out[oc] = conv.Bias().At(oc)
+	}
+	y0, _, x0, _ := conv.Receptive(s.Y, s.X)
+	for _, dep := range s.Deps {
+		d := e.graph.Sites[dep]
+		ky, kx := d.Y-y0, d.X-x0
+		dv := values[dep]
+		for oc := 0; oc < st.C; oc++ {
+			for ic := 0; ic < conv.InC; ic++ {
+				out[oc] += kernel.At(oc, ic, ky, kx) * dv[ic]
+			}
+		}
+	}
+	return out
+}
+
+func poolSite(st Stage, s Site, g *Graph, values [][]float64) []float64 {
+	out := make([]float64, st.C)
+	if st.AvgPool != nil {
+		for _, dep := range s.Deps {
+			dv := values[dep]
+			for c := 0; c < st.C; c++ {
+				out[c] += dv[c]
+			}
+		}
+		inv := 1 / float64(len(s.Deps))
+		for c := range out {
+			out[c] *= inv
+		}
+		return out
+	}
+	for c := range out {
+		out[c] = math.Inf(-1)
+	}
+	for _, dep := range s.Deps {
+		dv := values[dep]
+		for c := 0; c < st.C; c++ {
+			if dv[c] > out[c] {
+				out[c] = dv[c]
+			}
+		}
+	}
+	_ = g
+	return out
+}
+
+func denseSite(st Stage, prev Stage, s Site, g *Graph, values [][]float64) []float64 {
+	dense := st.Dense
+	o := s.X
+	sum := dense.Params()[1].At(o) // bias
+	w := dense.Weight()
+	for _, dep := range s.Deps {
+		d := g.Sites[dep]
+		dv := values[dep]
+		if prev.Kind == StageDense {
+			sum += w.At(o, d.X) * dv[0]
+		} else {
+			// Flattened (C,H,W) layout: index = (c*H + y)*W + x.
+			for c := 0; c < prev.C; c++ {
+				idx := (c*prev.H+d.Y)*prev.W + d.X
+				sum += w.At(o, idx) * dv[c]
+			}
+		}
+	}
+	return []float64{sum}
+}

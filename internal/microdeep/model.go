@@ -1,0 +1,300 @@
+package microdeep
+
+import (
+	"fmt"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+	"zeiot/internal/wsn"
+)
+
+// Strategy selects how units are assigned to nodes.
+type Strategy int
+
+// Assignment strategies.
+const (
+	// StrategyCoordinate is the natural XY mapping (Fig. 10(a) setting).
+	StrategyCoordinate Strategy = iota + 1
+	// StrategyBalanced is the paper's heuristic: equalized unit counts and
+	// maximized CNN-link/WSN-link correspondence (Fig. 10(b) setting).
+	StrategyBalanced
+)
+
+// Model is a MicroDeep deployment: a CNN, its unit graph, an assignment
+// onto a WSN, and (optionally) per-node replicas of shared conv kernels for
+// the local weight-update training mode.
+type Model struct {
+	Net    *cnn.Network
+	Graph  *Graph
+	Assign Assignment
+	WSN    *wsn.Network
+
+	// localUpdate reports whether per-node conv kernel replicas are
+	// installed.
+	localUpdate bool
+	replicas    []*convReplica
+	// gossipEvery > 0 averages each conv unit's kernel with its four
+	// spatial neighbours every that-many optimizer steps — one-hop-only
+	// traffic that pulls the locally connected kernels back toward a
+	// shared filter.
+	gossipEvery int
+	stepCount   int
+}
+
+// convReplica holds the per-unit kernels of one conv stage: position
+// (oy, ox) owns kernels[oy*w+ox], a locally connected layer.
+type convReplica struct {
+	stage   int
+	conv    *cnn.Conv2D
+	w       int
+	kernels []*tensor.Tensor
+	grads   []*tensor.Tensor
+}
+
+// Build constructs a MicroDeep model for net deployed on w using the given
+// assignment strategy.
+func Build(net *cnn.Network, w *wsn.Network, strategy Strategy) (*Model, error) {
+	g, err := BuildGraph(net)
+	if err != nil {
+		return nil, err
+	}
+	var a Assignment
+	switch strategy {
+	case StrategyCoordinate:
+		a, err = AssignByCoordinate(g, w)
+	case StrategyBalanced:
+		a, err = AssignBalanced(g, w, DefaultBalanceOptions())
+	default:
+		return nil, fmt.Errorf("microdeep: unknown strategy %d", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Net: net, Graph: g, Assign: a, WSN: w}, nil
+}
+
+// EnableLocalUpdate switches the model to the paper's local weight-update
+// mode ("weights of units are updated independently by each sensor node to
+// avoid communication overhead, sacrificing some accuracy"): every conv
+// unit position gets its own kernel — a locally connected layer — trained
+// only on its own gradient and never synchronized with the other
+// positions. This removes the kernel-aggregation traffic of synchronized
+// shared-weight training (see ChargeWeightSync) and costs some accuracy
+// because spatial weight sharing is lost.
+func (m *Model) EnableLocalUpdate() {
+	if m.localUpdate {
+		return
+	}
+	m.localUpdate = true
+	for si, st := range m.Graph.Stages {
+		if st.Kind != StageConv {
+			continue
+		}
+		r := &convReplica{
+			stage:   si,
+			conv:    st.Conv,
+			w:       st.W,
+			kernels: make([]*tensor.Tensor, st.H*st.W),
+			grads:   make([]*tensor.Tensor, st.H*st.W),
+		}
+		for p := range r.kernels {
+			r.kernels[p] = st.Conv.Weight().Clone()
+			r.grads[p] = tensor.New(st.Conv.Weight().Shape()...)
+		}
+		rep := r
+		rep.conv.SetReplicaHooks(
+			func(oy, ox int) *tensor.Tensor { return rep.kernels[oy*rep.w+ox] },
+			func(oy, ox int) *tensor.Tensor { return rep.grads[oy*rep.w+ox] },
+		)
+		m.replicas = append(m.replicas, r)
+	}
+}
+
+// LocalUpdate reports whether the local weight-update mode is active.
+func (m *Model) LocalUpdate() bool { return m.localUpdate }
+
+// ReplicaCount returns the number of conv kernel replicas across stages
+// (zero when local update is disabled).
+func (m *Model) ReplicaCount() int {
+	n := 0
+	for _, r := range m.replicas {
+		n += len(r.kernels)
+	}
+	return n
+}
+
+// ReplicaDivergence returns the mean L2 distance between every conv replica
+// and the mean kernel of its stage — a measure of how far independent local
+// updates have drifted apart.
+func (m *Model) ReplicaDivergence() float64 {
+	if len(m.replicas) == 0 {
+		return 0
+	}
+	total, count := 0.0, 0
+	for _, r := range m.replicas {
+		mean := tensor.New(r.conv.Weight().Shape()...)
+		for _, k := range r.kernels {
+			mean.AddInPlace(k)
+		}
+		mean.ScaleInPlace(1 / float64(len(r.kernels)))
+		for _, k := range r.kernels {
+			d := k.Clone()
+			d.SubInPlace(mean)
+			total += d.L2()
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func (m *Model) zeroReplicaGrads() {
+	for _, r := range m.replicas {
+		for _, g := range r.grads {
+			g.Zero()
+		}
+	}
+}
+
+func (m *Model) stepReplicas(opt *cnn.SGD, batch int) {
+	for _, r := range m.replicas {
+		for p, k := range r.kernels {
+			opt.Step([]*tensor.Tensor{k}, []*tensor.Tensor{r.grads[p]}, batch)
+		}
+	}
+	m.stepCount++
+	if m.gossipEvery > 0 && m.stepCount%m.gossipEvery == 0 {
+		m.gossip()
+	}
+}
+
+// SetGossip enables neighbour averaging of the per-unit kernels every
+// `every` optimizer steps (0 disables). Must be used with local updates.
+func (m *Model) SetGossip(every int) { m.gossipEvery = every }
+
+// gossip replaces each position's kernel with the mean of itself and its
+// four spatial neighbours — a single one-hop exchange per conv unit.
+func (m *Model) gossip() {
+	for _, r := range m.replicas {
+		h := len(r.kernels) / r.w
+		next := make([]*tensor.Tensor, len(r.kernels))
+		for y := 0; y < h; y++ {
+			for x := 0; x < r.w; x++ {
+				avg := r.kernels[y*r.w+x].Clone()
+				count := 1.0
+				for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+					ny, nx := y+d[0], x+d[1]
+					if ny < 0 || ny >= h || nx < 0 || nx >= r.w {
+						continue
+					}
+					avg.AddInPlace(r.kernels[ny*r.w+nx])
+					count++
+				}
+				avg.ScaleInPlace(1 / count)
+				next[y*r.w+x] = avg
+			}
+		}
+		for p, k := range next {
+			copy(r.kernels[p].Data(), k.Data())
+		}
+	}
+}
+
+// TrainEpoch runs one epoch of mini-batch SGD. In local-update mode the
+// conv kernels train as independent per-node replicas; otherwise training
+// is numerically identical to the centralized CNN.
+func (m *Model) TrainEpoch(samples []cnn.Sample, perm []int, batch int, opt *cnn.SGD) float64 {
+	if !m.localUpdate {
+		return m.Net.TrainEpoch(samples, perm, batch, opt)
+	}
+	if batch <= 0 {
+		panic("microdeep: non-positive batch size")
+	}
+	total, count, inBatch := 0.0, 0, 0
+	m.Net.ZeroGrads()
+	m.zeroReplicaGrads()
+	for _, idx := range perm {
+		s := samples[idx]
+		logits := m.Net.Forward(s.Input)
+		loss, grad := cnn.CrossEntropy(logits, s.Label)
+		total += loss
+		count++
+		m.Net.Backward(grad)
+		inBatch++
+		if inBatch == batch {
+			opt.StepNetwork(m.Net, inBatch) // dense layers + conv biases
+			m.stepReplicas(opt, inBatch)
+			m.Net.ZeroGrads()
+			m.zeroReplicaGrads()
+			inBatch = 0
+		}
+	}
+	if inBatch > 0 {
+		opt.StepNetwork(m.Net, inBatch)
+		m.stepReplicas(opt, inBatch)
+		m.Net.ZeroGrads()
+		m.zeroReplicaGrads()
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Fit trains for the given number of epochs with a fresh shuffle per epoch.
+func (m *Model) Fit(samples []cnn.Sample, epochs, batch int, opt *cnn.SGD, stream *rng.Stream) float64 {
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		loss = m.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+	}
+	return loss
+}
+
+// Evaluate returns accuracy using the model's effective weights (replicas
+// included via the conv hooks).
+func (m *Model) Evaluate(samples []cnn.Sample) float64 { return m.Net.Evaluate(samples) }
+
+// ForwardDistributed runs the site-by-site distributed executor, returning
+// the final-stage outputs. It does not charge communication; call
+// ChargeForward/ChargeBackward for cost accounting.
+func (m *Model) ForwardDistributed(input *tensor.Tensor) (*tensor.Tensor, error) {
+	ex := NewExecutor(m.Graph)
+	if m.localUpdate {
+		ex.KernelFor = func(stage int, s Site) *tensor.Tensor {
+			for _, r := range m.replicas {
+				if r.stage == stage {
+					return r.kernels[s.Y*r.w+s.X]
+				}
+			}
+			return nil
+		}
+	}
+	return ex.Forward(input)
+}
+
+// CostPerSample charges m.WSN with one forward+backward pass and returns
+// the report. When syncWeights is true the weight-aggregation traffic of
+// synchronized training is included (coordinator = node 0); local-update
+// mode omits it, which is exactly the saving the paper claims.
+func (m *Model) CostPerSample(syncWeights bool) (CostReport, error) {
+	m.WSN.ResetCounters()
+	if _, err := ChargeForward(m.Graph, m.Assign, m.WSN); err != nil {
+		return CostReport{}, err
+	}
+	if _, err := ChargeBackward(m.Graph, m.Assign, m.WSN); err != nil {
+		return CostReport{}, err
+	}
+	if syncWeights {
+		live := m.WSN.Live()
+		if len(live) == 0 {
+			return CostReport{}, fmt.Errorf("microdeep: no live nodes")
+		}
+		if _, err := ChargeWeightSync(m.Graph, m.Assign, m.WSN, live[0]); err != nil {
+			return CostReport{}, err
+		}
+	}
+	return Report(m.WSN), nil
+}

@@ -1,0 +1,327 @@
+// Package ml provides the classical learners and evaluation metrics the
+// zeiot wireless-sensing pipelines use: k-nearest-neighbours, Gaussian
+// naive Bayes, softmax (multinomial logistic) regression, confusion
+// matrices with accuracy and macro F-measure, feature standardization, and
+// k-fold cross-validation.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zeiot/internal/rng"
+)
+
+// Dataset is a labelled feature matrix.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// Len returns the number of examples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// NumClasses returns 1 + the maximum label.
+func (d Dataset) NumClasses() int {
+	maxY := -1
+	for _, y := range d.Y {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return maxY + 1
+}
+
+// Subset returns the dataset restricted to the given indices (copying the
+// index slice only; feature rows are shared).
+func (d Dataset) Subset(idx []int) Dataset {
+	out := Dataset{X: make([][]float64, len(idx)), Y: make([]int, len(idx))}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// Classifier is a trained model.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// Trainer fits a classifier to a dataset.
+type Trainer interface {
+	Fit(d Dataset) (Classifier, error)
+}
+
+// --- k-nearest neighbours ---
+
+// KNN is a k-nearest-neighbour trainer (Euclidean distance, majority vote,
+// lowest class wins ties).
+type KNN struct {
+	K int
+}
+
+type knnModel struct {
+	k    int
+	data Dataset
+}
+
+// Fit implements Trainer.
+func (k KNN) Fit(d Dataset) (Classifier, error) {
+	if k.K <= 0 {
+		return nil, fmt.Errorf("ml: KNN k = %d", k.K)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	return &knnModel{k: k.K, data: d}, nil
+}
+
+// Predict implements Classifier.
+func (m *knnModel) Predict(x []float64) int {
+	type cand struct {
+		dist float64
+		y    int
+	}
+	cands := make([]cand, m.data.Len())
+	for i, row := range m.data.X {
+		cands[i] = cand{dist: sqDist(row, x), y: m.data.Y[i]}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].y < cands[j].y
+	})
+	k := m.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := make(map[int]int)
+	for _, c := range cands[:k] {
+		votes[c.y]++
+	}
+	best, bestV := -1, -1
+	for y, v := range votes {
+		if v > bestV || (v == bestV && y < best) {
+			best, bestV = y, v
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// --- Gaussian naive Bayes ---
+
+// GaussianNB is a Gaussian naive Bayes trainer.
+type GaussianNB struct {
+	// VarSmoothing is added to every per-feature variance for stability.
+	VarSmoothing float64
+}
+
+type gnbModel struct {
+	prior []float64   // log prior per class
+	mean  [][]float64 // [class][feature]
+	vari  [][]float64
+}
+
+// Fit implements Trainer.
+func (g GaussianNB) Fit(d Dataset) (Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	smooth := g.VarSmoothing
+	if smooth <= 0 {
+		smooth = 1e-9
+	}
+	nc := d.NumClasses()
+	nf := len(d.X[0])
+	m := &gnbModel{
+		prior: make([]float64, nc),
+		mean:  make([][]float64, nc),
+		vari:  make([][]float64, nc),
+	}
+	counts := make([]int, nc)
+	for c := 0; c < nc; c++ {
+		m.mean[c] = make([]float64, nf)
+		m.vari[c] = make([]float64, nf)
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		counts[c]++
+		for f, v := range row {
+			m.mean[c][f] += v
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if counts[c] == 0 {
+			m.prior[c] = math.Inf(-1)
+			continue
+		}
+		for f := range m.mean[c] {
+			m.mean[c][f] /= float64(counts[c])
+		}
+		m.prior[c] = math.Log(float64(counts[c]) / float64(d.Len()))
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		for f, v := range row {
+			dv := v - m.mean[c][f]
+			m.vari[c][f] += dv * dv
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for f := range m.vari[c] {
+			m.vari[c][f] = m.vari[c][f]/float64(counts[c]) + smooth
+		}
+	}
+	return m, nil
+}
+
+// Predict implements Classifier.
+func (m *gnbModel) Predict(x []float64) int {
+	best, bestLL := -1, math.Inf(-1)
+	for c := range m.prior {
+		ll := m.prior[c]
+		if math.IsInf(ll, -1) {
+			continue
+		}
+		for f, v := range x {
+			dv := v - m.mean[c][f]
+			ll += -0.5*math.Log(2*math.Pi*m.vari[c][f]) - dv*dv/(2*m.vari[c][f])
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}
+
+// --- softmax regression ---
+
+// Softmax is a multinomial logistic regression trainer optimized with
+// full-batch gradient descent.
+type Softmax struct {
+	LR     float64
+	Epochs int
+	L2     float64
+	Seed   uint64
+}
+
+type softmaxModel struct {
+	w  [][]float64 // [class][feature]
+	b  []float64
+	nc int
+}
+
+// Fit implements Trainer.
+func (s Softmax) Fit(d Dataset) (Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	lr := s.LR
+	if lr <= 0 {
+		lr = 0.1
+	}
+	epochs := s.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	nc := d.NumClasses()
+	nf := len(d.X[0])
+	m := &softmaxModel{w: make([][]float64, nc), b: make([]float64, nc), nc: nc}
+	stream := rng.New(s.Seed)
+	for c := range m.w {
+		m.w[c] = make([]float64, nf)
+		for f := range m.w[c] {
+			m.w[c][f] = stream.NormMeanStd(0, 0.01)
+		}
+	}
+	probs := make([]float64, nc)
+	gw := make([][]float64, nc)
+	gb := make([]float64, nc)
+	for c := range gw {
+		gw[c] = make([]float64, nf)
+	}
+	inv := 1.0 / float64(d.Len())
+	for e := 0; e < epochs; e++ {
+		for c := range gw {
+			gb[c] = 0
+			for f := range gw[c] {
+				gw[c][f] = 0
+			}
+		}
+		for i, row := range d.X {
+			m.logits(row, probs)
+			softmaxInPlace(probs)
+			for c := 0; c < nc; c++ {
+				g := probs[c]
+				if c == d.Y[i] {
+					g--
+				}
+				gb[c] += g
+				for f, v := range row {
+					gw[c][f] += g * v
+				}
+			}
+		}
+		for c := 0; c < nc; c++ {
+			m.b[c] -= lr * gb[c] * inv
+			for f := range m.w[c] {
+				m.w[c][f] -= lr * (gw[c][f]*inv + s.L2*m.w[c][f])
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *softmaxModel) logits(x []float64, out []float64) {
+	for c := 0; c < m.nc; c++ {
+		s := m.b[c]
+		for f, v := range x {
+			s += m.w[c][f] * v
+		}
+		out[c] = s
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := math.Inf(-1)
+	for _, x := range v {
+		maxV = math.Max(maxV, x)
+	}
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(x - maxV)
+		v[i] = e
+		sum += e
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict implements Classifier.
+func (m *softmaxModel) Predict(x []float64) int {
+	out := make([]float64, m.nc)
+	m.logits(x, out)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range out {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

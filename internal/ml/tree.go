@@ -1,0 +1,228 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zeiot/internal/rng"
+)
+
+// Tree is a CART decision-tree trainer (Gini impurity, axis-aligned
+// splits).
+type Tree struct {
+	// MaxDepth bounds the tree (0 means 12); MinLeaf is the smallest
+	// allowed leaf (0 means 2).
+	MaxDepth, MinLeaf int
+	// features optionally restricts candidate split features (used by
+	// Forest); nil means all.
+	features []int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	label     int
+	leaf      bool
+}
+
+type treeModel struct {
+	root *treeNode
+}
+
+// Fit implements Trainer.
+func (t Tree) Fit(d Dataset) (Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	features := t.features
+	if features == nil {
+		features = make([]int, len(d.X[0]))
+		for f := range features {
+			features[f] = f
+		}
+	}
+	nc := d.NumClasses()
+	root := growTree(d, idx, features, nc, maxDepth, minLeaf)
+	return &treeModel{root: root}, nil
+}
+
+func majority(d Dataset, idx []int, nc int) int {
+	counts := make([]int, nc)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	best, bestC := 0, -1
+	for c, n := range counts {
+		if n > bestC {
+			best, bestC = c, n
+		}
+	}
+	return best
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, n := range counts {
+		p := float64(n) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func growTree(d Dataset, idx, features []int, nc, depth, minLeaf int) *treeNode {
+	// Pure node or depth/leaf limits → leaf.
+	pure := true
+	for _, i := range idx[1:] {
+		if d.Y[i] != d.Y[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if pure || depth == 0 || len(idx) < 2*minLeaf {
+		return &treeNode{leaf: true, label: majority(d, idx, nc)}
+	}
+	bestFeature, bestThreshold := -1, 0.0
+	bestScore := math.Inf(1)
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+		leftCounts := make([]int, nc)
+		rightCounts := make([]int, nc)
+		for _, i := range order {
+			rightCounts[d.Y[i]]++
+		}
+		for k := 0; k+1 < len(order); k++ {
+			i := order[k]
+			leftCounts[d.Y[i]]++
+			rightCounts[d.Y[i]]--
+			if k+1 < minLeaf || len(order)-(k+1) < minLeaf {
+				continue
+			}
+			v, next := d.X[i][f], d.X[order[k+1]][f]
+			if v == next {
+				continue // cannot split between equal values
+			}
+			nl, nr := k+1, len(order)-(k+1)
+			score := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(len(order))
+			if score < bestScore {
+				bestScore = score
+				bestFeature = f
+				bestThreshold = (v + next) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, label: majority(d, idx, nc)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      growTree(d, left, features, nc, depth-1, minLeaf),
+		right:     growTree(d, right, features, nc, depth-1, minLeaf),
+	}
+}
+
+// Predict implements Classifier.
+func (m *treeModel) Predict(x []float64) int {
+	node := m.root
+	for !node.leaf {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.label
+}
+
+// Forest is a random-forest trainer: bagged CART trees over random feature
+// subsets, majority vote.
+type Forest struct {
+	// Trees is the ensemble size (0 means 25); MaxDepth/MinLeaf per tree.
+	Trees, MaxDepth, MinLeaf int
+	// Seed drives bagging and feature subsampling.
+	Seed uint64
+}
+
+type forestModel struct {
+	trees []Classifier
+	nc    int
+}
+
+// Fit implements Trainer.
+func (f Forest) Fit(d Dataset) (Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	nTrees := f.Trees
+	if nTrees <= 0 {
+		nTrees = 25
+	}
+	stream := rng.New(f.Seed)
+	nf := len(d.X[0])
+	// √nf features per tree, the standard heuristic.
+	perTree := int(math.Ceil(math.Sqrt(float64(nf))))
+	model := &forestModel{nc: d.NumClasses()}
+	for t := 0; t < nTrees; t++ {
+		// Bootstrap sample.
+		boot := Dataset{X: make([][]float64, d.Len()), Y: make([]int, d.Len())}
+		for i := range boot.X {
+			j := stream.Intn(d.Len())
+			boot.X[i] = d.X[j]
+			boot.Y[i] = d.Y[j]
+		}
+		perm := stream.Perm(nf)
+		tree := Tree{MaxDepth: f.MaxDepth, MinLeaf: f.MinLeaf, features: perm[:perTree]}
+		clf, err := tree.Fit(boot)
+		if err != nil {
+			return nil, fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		model.trees = append(model.trees, clf)
+	}
+	return model, nil
+}
+
+// Predict implements Classifier.
+func (m *forestModel) Predict(x []float64) int {
+	votes := make([]int, m.nc)
+	for _, t := range m.trees {
+		y := t.Predict(x)
+		if y >= 0 && y < m.nc {
+			votes[y]++
+		}
+	}
+	best, bestV := 0, -1
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,33 @@
+package motion
+
+import (
+	"testing"
+)
+
+// FuzzCountReps feeds arbitrary signals to the counter: it must never
+// panic and must return a sane, bounded count.
+func FuzzCountReps(f *testing.F) {
+	f.Add([]byte{}, float64(50))
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 0, 255}, float64(8))
+	f.Fuzz(func(t *testing.T, data []byte, sampleHz float64) {
+		// Bound the domain: physical sampling rates and recording
+		// lengths, so the smoothing window stays small and runs fast.
+		if sampleHz < 1 || sampleHz > 1000 || len(data) > 4096 {
+			return
+		}
+		signal := make([]float64, len(data))
+		for i, b := range data {
+			signal[i] = float64(b)/32 - 4
+		}
+		count := CountReps(signal, sampleHz)
+		if count < 0 {
+			t.Fatalf("negative count %d", count)
+		}
+		// A rep needs at least 0.25 s, so the count is bounded by the
+		// recording length.
+		maxReps := int(float64(len(signal))/(0.25*sampleHz)) + 1
+		if count > maxReps {
+			t.Fatalf("count %d exceeds physical bound %d", count, maxReps)
+		}
+	})
+}

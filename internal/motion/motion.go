@@ -1,0 +1,266 @@
+// Package motion implements Motion-Fi-style sensing (§II.B, ref [37]):
+// recognizing and counting repetitive motions — squats, steps, arm raises —
+// from the RSSI of a passive backscatter tag worn by the exerciser.
+//
+// Each repetition sweeps the tag through the same spatial arc, producing
+// one period of a quasi-periodic RSSI waveform. The counter detrends the
+// signal, finds the dominant period by autocorrelation, and counts peaks
+// with a period-derived refractory interval, so rep-duration jitter and
+// pauses do not double-count.
+//
+// To serve several exercisers at once without collisions, Motion-Fi gives
+// each tag a distinct backscatter frequency shift; Demultiplex recovers
+// each tag's motion envelope from the composite received signal by
+// quadrature demodulation at the tag's shift frequency.
+package motion
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/rng"
+)
+
+// Workout describes one recording of repetitive exercise.
+type Workout struct {
+	// Reps is the ground-truth repetition count.
+	Reps int
+	// RepPeriodSec is the nominal duration of one repetition.
+	RepPeriodSec float64
+	// PeriodJitter is the per-rep fractional duration jitter (0.1 = ±10%).
+	PeriodJitter float64
+	// Amplitude is the RSSI swing of one rep (dB); NoiseStd the
+	// measurement noise.
+	Amplitude float64
+	NoiseStd  float64
+	// SampleHz is the RSSI sampling rate.
+	SampleHz float64
+	// LeadSec and TrailSec are idle periods around the exercise.
+	LeadSec, TrailSec float64
+}
+
+// DefaultWorkout returns a 20-squat recording at 50 Hz.
+func DefaultWorkout() Workout {
+	return Workout{
+		Reps:         20,
+		RepPeriodSec: 2.0,
+		PeriodJitter: 0.12,
+		Amplitude:    4,
+		NoiseStd:     0.4,
+		SampleHz:     50,
+		LeadSec:      2,
+		TrailSec:     2,
+	}
+}
+
+// Generate synthesizes the RSSI waveform of a workout.
+func Generate(w Workout, stream *rng.Stream) ([]float64, error) {
+	if w.Reps < 0 || w.RepPeriodSec <= 0 || w.SampleHz <= 0 {
+		return nil, fmt.Errorf("motion: invalid workout %+v", w)
+	}
+	var signal []float64
+	appendIdle := func(sec float64) {
+		n := int(sec * w.SampleHz)
+		for i := 0; i < n; i++ {
+			signal = append(signal, stream.NormMeanStd(0, w.NoiseStd))
+		}
+	}
+	appendIdle(w.LeadSec)
+	for rep := 0; rep < w.Reps; rep++ {
+		period := w.RepPeriodSec * (1 + stream.NormMeanStd(0, w.PeriodJitter))
+		if period < 0.2*w.RepPeriodSec {
+			period = 0.2 * w.RepPeriodSec
+		}
+		n := int(period * w.SampleHz)
+		for i := 0; i < n; i++ {
+			phase := 2 * math.Pi * float64(i) / float64(n)
+			// One rep: down-and-up — a single dominant dip per period.
+			v := -w.Amplitude * (0.5 - 0.5*math.Cos(phase))
+			v += stream.NormMeanStd(0, w.NoiseStd)
+			signal = append(signal, v)
+		}
+	}
+	appendIdle(w.TrailSec)
+	return signal, nil
+}
+
+// smooth applies a centered moving average of the given half-width.
+func smooth(signal []float64, half int) []float64 {
+	out := make([]float64, len(signal))
+	for i := range signal {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(signal) {
+			hi = len(signal) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += signal[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// DominantPeriod estimates the repetition period in seconds by the first
+// strong peak of the autocorrelation. It returns 0 when no periodicity is
+// found.
+func DominantPeriod(signal []float64, sampleHz float64) float64 {
+	n := len(signal)
+	if n < 8 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(n)
+	centered := make([]float64, n)
+	var power float64
+	for i, v := range signal {
+		centered[i] = v - mean
+		power += centered[i] * centered[i]
+	}
+	if power == 0 {
+		return 0
+	}
+	minLag := int(0.25 * sampleHz) // ≥ 0.25 s per rep
+	maxLag := n / 2
+	bestLag, bestCorr := 0, 0.35 // periodicity threshold
+	prev := math.Inf(1)
+	rising := false
+	for lag := minLag; lag < maxLag; lag++ {
+		c := 0.0
+		for i := 0; i+lag < n; i++ {
+			c += centered[i] * centered[i+lag]
+		}
+		c /= power
+		// First local maximum above the threshold wins.
+		if c > prev && !rising {
+			rising = true
+		}
+		if rising && c < prev && prev > bestCorr {
+			bestLag = lag - 1
+			break
+		}
+		prev = c
+	}
+	if bestLag == 0 {
+		return 0
+	}
+	return float64(bestLag) / sampleHz
+}
+
+// CountReps counts repetitions in an RSSI recording: it smooths the
+// signal, estimates the dominant period, and counts downward excursions
+// below an adaptive threshold separated by at least 60% of a period.
+func CountReps(signal []float64, sampleHz float64) int {
+	if len(signal) == 0 {
+		return 0
+	}
+	sm := smooth(signal, int(sampleHz/10))
+	period := DominantPeriod(sm, sampleHz)
+	if period == 0 {
+		return 0
+	}
+	// Adaptive threshold: halfway between median and minimum.
+	minV, mean := math.Inf(1), 0.0
+	for _, v := range sm {
+		minV = math.Min(minV, v)
+		mean += v
+	}
+	mean /= float64(len(sm))
+	threshold := mean + 0.45*(minV-mean)
+	refractory := int(0.6 * period * sampleHz)
+	count := 0
+	last := -refractory
+	for i, v := range sm {
+		if v < threshold && i-last >= refractory {
+			count++
+			last = i
+		}
+	}
+	return count
+}
+
+// TagChannel is one exerciser's backscatter subcarrier.
+type TagChannel struct {
+	ShiftHz float64
+	Workout Workout
+}
+
+// Composite synthesizes the receiver's combined signal from several tags,
+// each backscattering its motion waveform on its own frequency shift, plus
+// receiver noise. All workouts must share the sample rate. It returns the
+// composite signal and each tag's ground-truth waveform.
+func Composite(tags []TagChannel, noiseStd float64, stream *rng.Stream) (composite []float64, truth [][]float64, err error) {
+	if len(tags) == 0 {
+		return nil, nil, fmt.Errorf("motion: no tags")
+	}
+	sampleHz := tags[0].Workout.SampleHz
+	maxLen := 0
+	truth = make([][]float64, len(tags))
+	for i, tag := range tags {
+		if tag.Workout.SampleHz != sampleHz {
+			return nil, nil, fmt.Errorf("motion: tag %d sample rate %v != %v", i, tag.Workout.SampleHz, sampleHz)
+		}
+		if tag.ShiftHz <= 0 || tag.ShiftHz >= sampleHz/2 {
+			return nil, nil, fmt.Errorf("motion: tag %d shift %v outside (0, %v)", i, tag.ShiftHz, sampleHz/2)
+		}
+		sig, err := Generate(tag.Workout, stream.Split(fmt.Sprintf("tag-%d", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		truth[i] = sig
+		if len(sig) > maxLen {
+			maxLen = len(sig)
+		}
+	}
+	composite = make([]float64, maxLen)
+	for i := range composite {
+		composite[i] = stream.NormMeanStd(0, noiseStd)
+	}
+	for ti, tag := range tags {
+		for i, v := range truth[ti] {
+			carrier := math.Cos(2 * math.Pi * tag.ShiftHz * float64(i) / sampleHz)
+			// The motion waveform amplitude-modulates the shifted
+			// subcarrier around a DC reflection level.
+			composite[i] += (tag.Workout.Amplitude + v) * carrier
+		}
+	}
+	return composite, truth, nil
+}
+
+// Demultiplex recovers one tag's motion envelope from the composite by
+// quadrature demodulation at shiftHz followed by low-pass smoothing.
+func Demultiplex(composite []float64, shiftHz, sampleHz float64) []float64 {
+	n := len(composite)
+	i2 := make([]float64, n)
+	q2 := make([]float64, n)
+	for i, v := range composite {
+		ph := 2 * math.Pi * shiftHz * float64(i) / sampleHz
+		i2[i] = v * math.Cos(ph)
+		q2[i] = v * math.Sin(ph)
+	}
+	// Low-pass with a window of one subcarrier cycle.
+	half := int(sampleHz / shiftHz)
+	iLP := smooth(i2, half)
+	qLP := smooth(q2, half)
+	out := make([]float64, n)
+	for i := range out {
+		// ×2 undoes the mixing loss; envelope sign-corrected around DC.
+		out[i] = 2 * math.Sqrt(iLP[i]*iLP[i]+qLP[i]*qLP[i])
+	}
+	// Remove the DC reflection level so reps appear as dips around zero.
+	mean := 0.0
+	for _, v := range out {
+		mean += v
+	}
+	mean /= float64(n)
+	for i := range out {
+		out[i] -= mean
+	}
+	return out
+}

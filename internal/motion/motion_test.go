@@ -1,0 +1,138 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"zeiot/internal/rng"
+)
+
+func TestGenerateLength(t *testing.T) {
+	w := DefaultWorkout()
+	sig, err := Generate(w, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2s lead + ~20×2s reps + 2s trail at 50 Hz ≈ 2200 samples ±jitter.
+	if len(sig) < 1800 || len(sig) > 2700 {
+		t.Fatalf("signal length = %d", len(sig))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	w := DefaultWorkout()
+	w.RepPeriodSec = 0
+	if _, err := Generate(w, rng.New(1)); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	w := DefaultWorkout()
+	w.PeriodJitter = 0.03
+	sig, err := Generate(w, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := DominantPeriod(sig, w.SampleHz)
+	if math.Abs(period-w.RepPeriodSec) > 0.4 {
+		t.Fatalf("period = %.2f s, want ~%.2f", period, w.RepPeriodSec)
+	}
+}
+
+func TestDominantPeriodRejectsNoise(t *testing.T) {
+	s := rng.New(3)
+	noise := make([]float64, 2000)
+	for i := range noise {
+		noise[i] = s.NormMeanStd(0, 1)
+	}
+	if p := DominantPeriod(noise, 50); p != 0 {
+		t.Fatalf("pure noise reported period %v", p)
+	}
+	if p := DominantPeriod(nil, 50); p != 0 {
+		t.Fatal("empty signal reported a period")
+	}
+}
+
+func TestCountRepsAcrossWorkouts(t *testing.T) {
+	s := rng.New(4)
+	for _, reps := range []int{5, 12, 20, 40} {
+		w := DefaultWorkout()
+		w.Reps = reps
+		sig, err := Generate(w, s.Split("w"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CountReps(sig, w.SampleHz)
+		if got < reps-1 || got > reps+1 {
+			t.Fatalf("reps=%d counted %d", reps, got)
+		}
+	}
+}
+
+func TestCountRepsFasterMotion(t *testing.T) {
+	w := DefaultWorkout()
+	w.Reps = 30
+	w.RepPeriodSec = 0.8 // steps rather than squats
+	sig, err := Generate(w, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CountReps(sig, w.SampleHz)
+	if got < 28 || got > 32 {
+		t.Fatalf("fast reps counted %d of 30", got)
+	}
+}
+
+func TestCountRepsIdleSignalIsZero(t *testing.T) {
+	w := DefaultWorkout()
+	w.Reps = 0
+	sig, err := Generate(w, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountReps(sig, w.SampleHz); got != 0 {
+		t.Fatalf("idle recording counted %d reps", got)
+	}
+	if CountReps(nil, 50) != 0 {
+		t.Fatal("empty signal counted reps")
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	if _, _, err := Composite(nil, 0.1, rng.New(1)); err == nil {
+		t.Fatal("no tags accepted")
+	}
+	w := DefaultWorkout()
+	bad := []TagChannel{{ShiftHz: 30, Workout: w}} // above Nyquist/2 of 50 Hz
+	if _, _, err := Composite(bad, 0.1, rng.New(1)); err == nil {
+		t.Fatal("shift above Nyquist accepted")
+	}
+}
+
+func TestDemultiplexSeparatesTwoTags(t *testing.T) {
+	wa := DefaultWorkout()
+	wa.Reps = 10
+	wa.SampleHz = 200
+	wa.NoiseStd = 0.2
+	wb := wa
+	wb.Reps = 16
+	wb.RepPeriodSec = 1.3
+	tags := []TagChannel{
+		{ShiftHz: 20, Workout: wa},
+		{ShiftHz: 45, Workout: wb},
+	}
+	composite, _, err := Composite(tags, 0.3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := CountReps(Demultiplex(composite, 20, wa.SampleHz), wa.SampleHz)
+	cb := CountReps(Demultiplex(composite, 45, wb.SampleHz), wb.SampleHz)
+	// Demultiplexed envelopes are noisier than direct recordings; ±2 reps.
+	if ca < 8 || ca > 12 {
+		t.Fatalf("tag A counted %d of 10", ca)
+	}
+	if cb < 14 || cb > 18 {
+		t.Fatalf("tag B counted %d of 16", cb)
+	}
+}

@@ -1,0 +1,36 @@
+package rfid
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUnwrapPhases checks the unwrapping invariants on arbitrary inputs:
+// same length, consecutive deltas within (-π, π], and exact preservation of
+// the first element.
+func FuzzUnwrapPhases(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 250, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wrapped := make([]float64, len(data))
+		for i, b := range data {
+			wrapped[i] = float64(b) / 255 * 2 * math.Pi
+		}
+		out := UnwrapPhases(wrapped)
+		if len(out) != len(wrapped) {
+			t.Fatalf("length changed: %d -> %d", len(wrapped), len(out))
+		}
+		if len(out) == 0 {
+			return
+		}
+		if out[0] != wrapped[0] {
+			t.Fatalf("first element changed: %v -> %v", wrapped[0], out[0])
+		}
+		for i := 1; i < len(out); i++ {
+			d := out[i] - out[i-1]
+			if d <= -math.Pi-1e-9 || d > math.Pi+1e-9 {
+				t.Fatalf("delta %v at %d outside (-π, π]", d, i)
+			}
+		}
+	})
+}

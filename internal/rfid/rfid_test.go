@@ -1,0 +1,196 @@
+package rfid
+
+import (
+	"math"
+	"testing"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/rng"
+)
+
+func TestPhaseWrapsAndDependsOnDistance(t *testing.T) {
+	r := UHFReader(geom.Point{})
+	p1 := r.Phase(geom.Point{X: 1, Y: 0}, nil)
+	p2 := r.Phase(geom.Point{X: 1.01, Y: 0}, nil)
+	if p1 < 0 || p1 >= 2*math.Pi || p2 < 0 || p2 >= 2*math.Pi {
+		t.Fatalf("phases out of range: %v %v", p1, p2)
+	}
+	if p1 == p2 {
+		t.Fatal("phase insensitive to distance")
+	}
+	// Moving by λ/2 wraps the round-trip phase by exactly 2π.
+	p3 := r.Phase(geom.Point{X: 1 + r.Lambda/2, Y: 0}, nil)
+	if math.Abs(p3-p1) > 1e-9 {
+		t.Fatalf("λ/2 move did not wrap cleanly: %v vs %v", p1, p3)
+	}
+}
+
+func TestUnwrapRecoversLinearMotion(t *testing.T) {
+	r := UHFReader(geom.Point{})
+	r.PhaseNoise = 0
+	var wrapped []float64
+	// Tag recedes from 1 m to 2 m in 2 cm steps (< λ/4 per step).
+	for i := 0; i <= 50; i++ {
+		d := 1.0 + 0.02*float64(i)
+		wrapped = append(wrapped, r.Phase(geom.Point{X: d, Y: 0}, nil))
+	}
+	dd := DeltaDistances(UnwrapPhases(wrapped), r.Lambda)
+	got := dd[len(dd)-1]
+	if math.Abs(got-1.0) > 1e-6 {
+		t.Fatalf("recovered distance change %v, want 1.0", got)
+	}
+}
+
+func TestEstimateDirection(t *testing.T) {
+	r := UHFReader(geom.Point{})
+	r.PhaseNoise = 0.05
+	s := rng.New(1)
+	seq := func(from, to float64) []float64 {
+		var out []float64
+		steps := 50
+		for i := 0; i <= steps; i++ {
+			d := from + (to-from)*float64(i)/float64(steps)
+			out = append(out, r.Phase(geom.Point{X: d, Y: 0}, s))
+		}
+		return out
+	}
+	if got := EstimateDirection(seq(2, 1), r.Lambda, 0.2); got != DirectionApproaching {
+		t.Fatalf("approaching classified as %v", got)
+	}
+	if got := EstimateDirection(seq(1, 2), r.Lambda, 0.2); got != DirectionReceding {
+		t.Fatalf("receding classified as %v", got)
+	}
+	if got := EstimateDirection(seq(1.5, 1.5), r.Lambda, 0.2); got != DirectionStationary {
+		t.Fatalf("stationary classified as %v", got)
+	}
+	if got := EstimateDirection(nil, r.Lambda, 0.2); got != DirectionStationary {
+		t.Fatalf("empty sequence classified as %v", got)
+	}
+}
+
+func testReaders() []Reader {
+	rs := []Reader{
+		UHFReader(geom.Point{X: 0, Y: 0}),
+		UHFReader(geom.Point{X: 6, Y: 0}),
+		UHFReader(geom.Point{X: 3, Y: 5}),
+		UHFReader(geom.Point{X: 0, Y: 5}),
+	}
+	for i := range rs {
+		rs[i].PhaseNoise = 0.05
+		rs[i].Offset = 0.5 * float64(i+1)
+	}
+	return rs
+}
+
+func TestTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(testReaders()[:2], geom.Point{}); err == nil {
+		t.Fatal("two readers accepted")
+	}
+	tr, err := NewTracker(testReaders(), geom.Point{X: 3, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Observe([]float64{1, 2}); err == nil {
+		t.Fatal("wrong phase count accepted")
+	}
+}
+
+func TestTrackerFollowsPath(t *testing.T) {
+	readers := testReaders()
+	stream := rng.New(2)
+	start := geom.Point{X: 2, Y: 2}
+	tr, err := NewTracker(readers, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True path: an L-shaped walk in 2 cm steps.
+	truth := start
+	maxErr := 0.0
+	step := func(dx, dy float64) {
+		truth = truth.Add(geom.Point{X: dx, Y: dy})
+		phases := make([]float64, len(readers))
+		for i, r := range readers {
+			phases[i] = r.Phase(truth, stream)
+		}
+		est, err := tr.Observe(phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr = math.Max(maxErr, geom.Dist(est, truth))
+	}
+	for i := 0; i < 80; i++ {
+		step(0.02, 0)
+	}
+	for i := 0; i < 60; i++ {
+		step(0, 0.02)
+	}
+	if maxErr > 0.15 {
+		t.Fatalf("max tracking error %.3f m", maxErr)
+	}
+}
+
+func TestTrackerRobustToReaderOffsets(t *testing.T) {
+	// Offsets differ per reader and are unknown; tracking must still work
+	// because it uses phase *changes*.
+	readers := testReaders()
+	for i := range readers {
+		readers[i].Offset = float64(i) * 1.7
+		readers[i].PhaseNoise = 0
+	}
+	truth := geom.Point{X: 2.5, Y: 2.5}
+	tr, err := NewTracker(readers, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		truth = truth.Add(geom.Point{X: 0.02, Y: 0.01})
+		phases := make([]float64, len(readers))
+		for j, r := range readers {
+			phases[j] = r.Phase(truth, nil)
+		}
+		if _, err := tr.Observe(phases); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := geom.Dist(tr.Pos(), truth); d > 0.05 {
+		t.Fatalf("final error %.3f m with unknown offsets", d)
+	}
+}
+
+func TestSkeletonTracksTwoJoints(t *testing.T) {
+	readers := testReaders()
+	stream := rng.New(3)
+	shoulder := geom.Point{X: 3, Y: 3}
+	wrist := geom.Point{X: 3.5, Y: 3}
+	sk, err := NewSkeleton(readers, []string{"shoulder", "wrist"}, []geom.Point{shoulder, wrist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm raise: wrist arcs around the shoulder.
+	armLen := geom.Dist(shoulder, wrist)
+	for i := 0; i <= 45; i++ {
+		ang := float64(i) * math.Pi / 2 / 45
+		wrist = geom.Point{X: shoulder.X + armLen*math.Cos(ang), Y: shoulder.Y + armLen*math.Sin(ang)}
+		phases := make([][]float64, 2)
+		for j, joint := range []geom.Point{shoulder, wrist} {
+			phases[j] = make([]float64, len(readers))
+			for k, r := range readers {
+				phases[j][k] = r.Phase(joint, stream)
+			}
+		}
+		if _, err := sk.Observe(phases); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final limb angle should be ~90°.
+	got := sk.LimbAngle(0, 1)
+	if math.Abs(got-math.Pi/2) > 0.15 {
+		t.Fatalf("limb angle = %.3f rad, want ~π/2", got)
+	}
+}
+
+func TestSkeletonValidation(t *testing.T) {
+	if _, err := NewSkeleton(testReaders(), []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names/starts accepted")
+	}
+}

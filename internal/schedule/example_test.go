@@ -1,0 +1,45 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/microdeep"
+	"zeiot/internal/rng"
+	"zeiot/internal/schedule"
+	"zeiot/internal/wsn"
+)
+
+// Example generates the collection schedule for a small MicroDeep
+// deployment and checks a 1 Hz collection cycle is feasible.
+func Example() {
+	s := rng.New(1)
+	net := cnn.NewNetwork([]int{1, 4, 4},
+		cnn.NewConv2D(1, 2, 3, 3, 1, 1, s.Split("c")),
+		cnn.NewFlatten(),
+		cnn.NewDense(32, 2, s.Split("d")),
+	)
+	grid := wsn.NewGrid(4, 4, 1)
+	model, err := microdeep.Build(net, grid, microdeep.StrategyBalanced)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	plan, err := microdeep.Plan(model.Graph, model.Assign, grid)
+	if err != nil {
+		fmt.Println("plan:", err)
+		return
+	}
+	opts := schedule.Options{Channels: 2, InterferenceHops: 1}
+	sched, err := schedule.Build(plan, grid, opts)
+	if err != nil {
+		fmt.Println("schedule:", err)
+		return
+	}
+	fmt.Println("valid:", sched.Validate(plan, grid, opts) == nil)
+	rep := sched.Feasibility(0.004, 1.0)
+	fmt.Println("1 Hz feasible:", rep.CycleOK)
+	// Output:
+	// valid: true
+	// 1 Hz feasible: true
+}

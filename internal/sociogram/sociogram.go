@@ -1,0 +1,330 @@
+// Package sociogram implements use case (iv) of §III.C: estimating the
+// friendship graph of a kindergarten group from RFID tag sightings at
+// area-limited Wi-Fi base stations.
+//
+// Children wear backscatter tags; each play area (play equipment,
+// classroom, corridor) has a base station whose signal only covers that
+// area and which logs the tag IDs present per time slot. Friends tend to
+// play in the same area at the same time, so co-occurrence counts estimate
+// friendship strength. The package provides the generative simulator (a
+// ground-truth friendship graph drives where children go), the inference
+// (co-occurrence → weighted sociogram), isolation detection, and scoring
+// against the ground truth.
+package sociogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zeiot/internal/rng"
+)
+
+// Graph is an undirected weighted graph over n children.
+type Graph struct {
+	n       int
+	weights map[[2]int]float64
+}
+
+// NewGraph returns an empty graph over n children.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, weights: make(map[[2]int]float64)}
+}
+
+// Size returns the number of children.
+func (g *Graph) Size() int { return g.n }
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// SetEdge sets the weight of edge (a, b). Self-edges are rejected.
+func (g *Graph) SetEdge(a, b int, w float64) {
+	if a == b {
+		panic("sociogram: self edge")
+	}
+	if w == 0 {
+		delete(g.weights, edgeKey(a, b))
+		return
+	}
+	g.weights[edgeKey(a, b)] = w
+}
+
+// AddEdge accumulates w onto edge (a, b).
+func (g *Graph) AddEdge(a, b int, w float64) {
+	g.weights[edgeKey(a, b)] += w
+}
+
+// Edge returns the weight of edge (a, b) (0 when absent).
+func (g *Graph) Edge(a, b int) float64 {
+	return g.weights[edgeKey(a, b)]
+}
+
+// Edges returns the number of non-zero edges.
+func (g *Graph) Edges() int { return len(g.weights) }
+
+// Degree returns the weighted degree of child a.
+func (g *Graph) Degree(a int) float64 {
+	d := 0.0
+	for k, w := range g.weights {
+		if k[0] == a || k[1] == a {
+			d += w
+		}
+	}
+	return d
+}
+
+// Friends returns the neighbours of a sorted by descending weight.
+func (g *Graph) Friends(a int) []int {
+	type fw struct {
+		id int
+		w  float64
+	}
+	var out []fw
+	for k, w := range g.weights {
+		switch a {
+		case k[0]:
+			out = append(out, fw{k[1], w})
+		case k[1]:
+			out = append(out, fw{k[0], w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].w != out[j].w {
+			return out[i].w > out[j].w
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]int, len(out))
+	for i, f := range out {
+		ids[i] = f.id
+	}
+	return ids
+}
+
+// CommunityConfig parameterizes the ground-truth generator.
+type CommunityConfig struct {
+	// Children is the group size; CliqueSize the typical friend-circle
+	// size.
+	Children, CliqueSize int
+	// IsolatedCount children have no friends at all (the children the
+	// sociogram should surface).
+	IsolatedCount int
+}
+
+// GenerateFriendships builds a ground-truth graph of friend cliques plus a
+// few cross-clique friendships, leaving IsolatedCount children with no
+// edges. It returns the graph and the isolated children's IDs.
+func GenerateFriendships(cfg CommunityConfig, stream *rng.Stream) (*Graph, []int, error) {
+	if cfg.Children < 2 || cfg.CliqueSize < 2 {
+		return nil, nil, fmt.Errorf("sociogram: invalid community config %+v", cfg)
+	}
+	if cfg.IsolatedCount >= cfg.Children {
+		return nil, nil, fmt.Errorf("sociogram: %d isolated of %d children", cfg.IsolatedCount, cfg.Children)
+	}
+	g := NewGraph(cfg.Children)
+	perm := stream.Perm(cfg.Children)
+	isolated := append([]int(nil), perm[:cfg.IsolatedCount]...)
+	sort.Ints(isolated)
+	social := perm[cfg.IsolatedCount:]
+	// Partition social children into cliques.
+	for start := 0; start < len(social); start += cfg.CliqueSize {
+		end := start + cfg.CliqueSize
+		if end > len(social) {
+			end = len(social)
+		}
+		clique := social[start:end]
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				g.SetEdge(clique[i], clique[j], 1)
+			}
+		}
+	}
+	// A few weak cross-clique ties.
+	for i := 0; i < cfg.Children/5; i++ {
+		a := social[stream.Intn(len(social))]
+		b := social[stream.Intn(len(social))]
+		if a != b && g.Edge(a, b) == 0 {
+			g.SetEdge(a, b, 0.5)
+		}
+	}
+	return g, isolated, nil
+}
+
+// ObservationConfig parameterizes the play-session simulator.
+type ObservationConfig struct {
+	// Areas is the number of base-station-covered play areas.
+	Areas int
+	// Sessions is the number of observed time slots.
+	Sessions int
+	// FollowProb is the probability a child joins the area its friend
+	// circle chose (otherwise it wanders to a random area).
+	FollowProb float64
+	// DetectionProb is the probability a present tag is actually logged
+	// (backscatter reads are lossy).
+	DetectionProb float64
+}
+
+// DefaultObservationConfig returns a school-day-scale observation run.
+func DefaultObservationConfig() ObservationConfig {
+	return ObservationConfig{Areas: 5, Sessions: 200, FollowProb: 0.8, DetectionProb: 0.9}
+}
+
+// Sighting is one base-station log entry: the set of children seen in an
+// area during a session.
+type Sighting struct {
+	Session, Area int
+	Children      []int
+}
+
+// Simulate produces base-station logs: per session every friend circle
+// picks an area, members follow with FollowProb, isolated children wander
+// uniformly, and each present tag is logged with DetectionProb.
+func Simulate(truth *Graph, cfg ObservationConfig, stream *rng.Stream) ([]Sighting, error) {
+	if cfg.Areas < 2 || cfg.Sessions < 1 {
+		return nil, fmt.Errorf("sociogram: invalid observation config %+v", cfg)
+	}
+	n := truth.Size()
+	// Friend circles = connected components over STRONG ties only
+	// (weight >= strongTie); the weak cross-clique acquaintances do not
+	// pull whole cliques together every session.
+	const strongTie = 0.75
+	circle := make([]int, n)
+	for i := range circle {
+		circle[i] = -1
+	}
+	nextCircle := 0
+	var stack []int
+	for i := 0; i < n; i++ {
+		if circle[i] != -1 || truth.Degree(i) == 0 {
+			continue
+		}
+		stack = append(stack[:0], i)
+		circle[i] = nextCircle
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range truth.Friends(u) {
+				if circle[v] == -1 && truth.Edge(u, v) >= strongTie {
+					circle[v] = nextCircle
+					stack = append(stack, v)
+				}
+			}
+		}
+		nextCircle++
+	}
+	var logs []Sighting
+	for s := 0; s < cfg.Sessions; s++ {
+		choice := make([]int, nextCircle)
+		for c := range choice {
+			choice[c] = stream.Intn(cfg.Areas)
+		}
+		where := make([]int, n)
+		for i := 0; i < n; i++ {
+			if circle[i] >= 0 && stream.Bool(cfg.FollowProb) {
+				where[i] = choice[circle[i]]
+			} else {
+				where[i] = stream.Intn(cfg.Areas)
+			}
+		}
+		for a := 0; a < cfg.Areas; a++ {
+			var seen []int
+			for i := 0; i < n; i++ {
+				if where[i] == a && stream.Bool(cfg.DetectionProb) {
+					seen = append(seen, i)
+				}
+			}
+			if len(seen) > 0 {
+				logs = append(logs, Sighting{Session: s, Area: a, Children: seen})
+			}
+		}
+	}
+	return logs, nil
+}
+
+// Infer builds the estimated sociogram from base-station logs: edge weight
+// = number of sessions two children were sighted in the same area,
+// normalized by sessions observed.
+func Infer(n, sessions int, logs []Sighting) *Graph {
+	g := NewGraph(n)
+	for _, s := range logs {
+		for i := 0; i < len(s.Children); i++ {
+			for j := i + 1; j < len(s.Children); j++ {
+				g.AddEdge(s.Children[i], s.Children[j], 1)
+			}
+		}
+	}
+	for k, w := range g.weights {
+		g.weights[k] = w / float64(sessions)
+	}
+	return g
+}
+
+// Threshold returns a copy keeping only edges with weight >= minW.
+func (g *Graph) Threshold(minW float64) *Graph {
+	out := NewGraph(g.n)
+	for k, w := range g.weights {
+		if w >= minW {
+			out.weights[k] = w
+		}
+	}
+	return out
+}
+
+// Score compares an inferred friendship graph against the truth, treating
+// any truth edge as positive.
+type Score struct {
+	Precision, Recall, F1 float64
+}
+
+// Evaluate scores inferred against truth.
+func Evaluate(truth, inferred *Graph) Score {
+	tp, fp, fn := 0, 0, 0
+	for k := range inferred.weights {
+		if truth.Edge(k[0], k[1]) > 0 {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	for k := range truth.weights {
+		if inferred.Edge(k[0], k[1]) == 0 {
+			fn++
+		}
+	}
+	var s Score
+	if tp+fp > 0 {
+		s.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		s.Recall = float64(tp) / float64(tp+fn)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// DetectIsolated returns children whose strongest inferred tie falls below
+// frac of the group's median strongest tie — the "some children might be
+// isolated" signal the paper wants the sociogram to surface.
+func DetectIsolated(g *Graph, frac float64) []int {
+	maxW := make([]float64, g.n)
+	for k, w := range g.weights {
+		maxW[k[0]] = math.Max(maxW[k[0]], w)
+		maxW[k[1]] = math.Max(maxW[k[1]], w)
+	}
+	sorted := append([]float64(nil), maxW...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	var out []int
+	for i, w := range maxW {
+		if w < frac*median {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package sociogram
+
+import (
+	"sort"
+	"testing"
+
+	"zeiot/internal/rng"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.SetEdge(0, 1, 2)
+	g.SetEdge(2, 1, 1)
+	if g.Edge(1, 0) != 2 || g.Edge(0, 1) != 2 {
+		t.Fatal("edge not symmetric")
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("Edges = %d", g.Edges())
+	}
+	if g.Degree(1) != 3 {
+		t.Fatalf("Degree(1) = %v", g.Degree(1))
+	}
+	friends := g.Friends(1)
+	if len(friends) != 2 || friends[0] != 0 || friends[1] != 2 {
+		t.Fatalf("Friends(1) = %v", friends)
+	}
+	g.SetEdge(0, 1, 0)
+	if g.Edges() != 1 {
+		t.Fatal("zero weight did not remove edge")
+	}
+	g.AddEdge(3, 0, 0.5)
+	g.AddEdge(0, 3, 0.5)
+	if g.Edge(3, 0) != 1 {
+		t.Fatal("AddEdge did not accumulate")
+	}
+}
+
+func TestSelfEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self edge accepted")
+		}
+	}()
+	NewGraph(2).SetEdge(1, 1, 1)
+}
+
+func TestGenerateFriendships(t *testing.T) {
+	cfg := CommunityConfig{Children: 30, CliqueSize: 4, IsolatedCount: 3}
+	g, isolated, err := GenerateFriendships(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(isolated) != 3 {
+		t.Fatalf("isolated = %v", isolated)
+	}
+	for _, c := range isolated {
+		if g.Degree(c) != 0 {
+			t.Fatalf("isolated child %d has degree %v", c, g.Degree(c))
+		}
+	}
+	// Social children all have at least one friend.
+	isoSet := map[int]bool{}
+	for _, c := range isolated {
+		isoSet[c] = true
+	}
+	for i := 0; i < cfg.Children; i++ {
+		if !isoSet[i] && g.Degree(i) == 0 {
+			t.Fatalf("social child %d has no friends", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, _, err := GenerateFriendships(CommunityConfig{Children: 1, CliqueSize: 4}, rng.New(1)); err == nil {
+		t.Fatal("1 child accepted")
+	}
+	if _, _, err := GenerateFriendships(CommunityConfig{Children: 5, CliqueSize: 4, IsolatedCount: 5}, rng.New(1)); err == nil {
+		t.Fatal("all isolated accepted")
+	}
+}
+
+func TestSimulateLogsRespectConfig(t *testing.T) {
+	cfg := CommunityConfig{Children: 20, CliqueSize: 4, IsolatedCount: 2}
+	truth, _, err := GenerateFriendships(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := DefaultObservationConfig()
+	obs.Sessions = 50
+	logs, err := Simulate(truth, obs, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) == 0 {
+		t.Fatal("no sightings")
+	}
+	for _, s := range logs {
+		if s.Area < 0 || s.Area >= obs.Areas || s.Session < 0 || s.Session >= obs.Sessions {
+			t.Fatalf("sighting out of range: %+v", s)
+		}
+		seen := map[int]bool{}
+		for _, c := range s.Children {
+			if c < 0 || c >= cfg.Children {
+				t.Fatalf("unknown child %d", c)
+			}
+			if seen[c] {
+				t.Fatalf("child %d logged twice in one sighting", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestInferRecoversCliques(t *testing.T) {
+	cfg := CommunityConfig{Children: 30, CliqueSize: 5, IsolatedCount: 3}
+	stream := rng.New(4)
+	truth, _, err := GenerateFriendships(cfg, stream.Split("gen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := DefaultObservationConfig()
+	logs, err := Simulate(truth, obs, stream.Split("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := Infer(cfg.Children, obs.Sessions, logs)
+	// With 5 areas, random co-occurrence ≈ 1/5 of sessions; friends
+	// co-occur ≈ FollowProb²+. Threshold between the two.
+	inferred := raw.Threshold(0.4)
+	score := Evaluate(truth, inferred)
+	if score.F1 < 0.8 {
+		t.Fatalf("sociogram F1 = %.3f (P=%.3f R=%.3f)", score.F1, score.Precision, score.Recall)
+	}
+}
+
+func TestDetectIsolated(t *testing.T) {
+	cfg := CommunityConfig{Children: 25, CliqueSize: 4, IsolatedCount: 2}
+	stream := rng.New(5)
+	truth, isolated, err := GenerateFriendships(cfg, stream.Split("gen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := DefaultObservationConfig()
+	logs, err := Simulate(truth, obs, stream.Split("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred := Infer(cfg.Children, obs.Sessions, logs)
+	got := DetectIsolated(inferred, 0.6)
+	sort.Ints(got)
+	// Every truly isolated child must be flagged, with at most two false
+	// alarms.
+	found := map[int]bool{}
+	for _, c := range got {
+		found[c] = true
+	}
+	for _, c := range isolated {
+		if !found[c] {
+			t.Fatalf("isolated child %d not detected (got %v, want %v)", c, got, isolated)
+		}
+	}
+	if len(got) > len(isolated)+2 {
+		t.Fatalf("too many false isolation alarms: %v (truth %v)", got, isolated)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	truth := NewGraph(3)
+	inferred := NewGraph(3)
+	s := Evaluate(truth, inferred)
+	if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Fatalf("empty graphs scored %+v", s)
+	}
+	truth.SetEdge(0, 1, 1)
+	inferred.SetEdge(0, 1, 1)
+	s = Evaluate(truth, inferred)
+	if s.F1 != 1 {
+		t.Fatalf("perfect inference scored %+v", s)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	truth := NewGraph(3)
+	if _, err := Simulate(truth, ObservationConfig{Areas: 1, Sessions: 5}, rng.New(1)); err == nil {
+		t.Fatal("1 area accepted")
+	}
+}
+
+func TestDeterministicPipeline(t *testing.T) {
+	run := func() Score {
+		cfg := CommunityConfig{Children: 20, CliqueSize: 4, IsolatedCount: 2}
+		stream := rng.New(6)
+		truth, _, err := GenerateFriendships(cfg, stream.Split("gen"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs, err := Simulate(truth, DefaultObservationConfig(), stream.Split("sim"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Evaluate(truth, Infer(cfg.Children, DefaultObservationConfig().Sessions, logs).Threshold(0.4))
+	}
+	if run() != run() {
+		t.Fatal("pipeline not deterministic")
+	}
+}

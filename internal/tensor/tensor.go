@@ -1,0 +1,293 @@
+// Package tensor implements a small dense float64 tensor used as the
+// numeric substrate for the zeiot CNN stack.
+//
+// Tensors are row-major with explicit shapes; the package provides only the
+// operations the CNN and the sensing pipelines need (element access,
+// arithmetic, matrix multiply, argmax, simple reductions). It favours
+// clarity and determinism over BLAS-grade speed.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float64 array with an explicit shape.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. Dimensions must be
+// positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the shape's volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	t := &Tensor{shape: append([]int(nil), shape...), data: data}
+	if len(data) != t.Size() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}
+
+// Data returns the underlying storage. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, v := range idx {
+		if v < 0 || v >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", v, i, t.shape[i]))
+		}
+		off = off*t.shape[i] + v
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	r := &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	if r.Size() != t.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return r
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace adds other element-wise into t. Shapes must match exactly.
+func (t *Tensor) AddInPlace(other *Tensor) {
+	t.mustSameShape(other)
+	for i := range t.data {
+		t.data[i] += other.data[i]
+	}
+}
+
+// SubInPlace subtracts other element-wise from t.
+func (t *Tensor) SubInPlace(other *Tensor) {
+	t.mustSameShape(other)
+	for i := range t.data {
+		t.data[i] -= other.data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by a.
+func (t *Tensor) ScaleInPlace(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AxpyInPlace performs t += a*other element-wise.
+func (t *Tensor) AxpyInPlace(a float64, other *Tensor) {
+	t.mustSameShape(other)
+	for i := range t.data {
+		t.data[i] += a * other.data[i]
+	}
+}
+
+func (t *Tensor) mustSameShape(other *Tensor) {
+	if !SameShape(t, other) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, other.shape))
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul returns a×b for 2-D tensors of shapes (m,k) and (k,n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul requires 2-d tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a×x for a 2-D tensor (m,k) and 1-D tensor (k,).
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Dims() != 2 || x.Dims() != 1 {
+		panic("tensor: MatVec requires (2-d, 1-d) tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dims (m=%d,k=%d) × %d", m, k, x.shape[0]))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := a.data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			sum += row[p] * x.data[p]
+		}
+		out.data[i] = sum
+	}
+	return out
+}
+
+// Argmax returns the flat index of the maximum element.
+func (t *Tensor) Argmax() int {
+	best, bestIdx := math.Inf(-1), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// Max returns the maximum element.
+func (t *Tensor) Max() float64 { return t.data[t.Argmax()] }
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(t.Size()) }
+
+// Dot returns the inner product of two tensors of identical shape.
+func Dot(a, b *Tensor) float64 {
+	a.mustSameShape(b)
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// L2 returns the Euclidean norm of all elements.
+func (t *Tensor) L2() float64 { return math.Sqrt(Dot(t, t)) }
+
+// ApplyInPlace replaces every element x with f(x).
+func (t *Tensor) ApplyInPlace(f func(float64) float64) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Equal reports whether two tensors have the same shape and all elements
+// within tol of each other.
+func Equal(a, b *Tensor, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, truncating large tensors.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.shape)
+	limit := t.Size()
+	if limit > 8 {
+		limit = 8
+	}
+	for i := 0; i < limit; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.data[i])
+	}
+	if t.Size() > limit {
+		b.WriteString(" …")
+	}
+	b.WriteString("]")
+	return b.String()
+}

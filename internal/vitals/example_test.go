@@ -1,0 +1,25 @@
+package vitals_test
+
+import (
+	"fmt"
+
+	"zeiot/internal/rng"
+	"zeiot/internal/vitals"
+)
+
+// Example senses a resting adult's vitals through a chest tag array.
+func Example() {
+	cfg := vitals.DefaultConfig()
+	subject := vitals.RestingAdult()
+	phases := vitals.Capture(cfg, subject, rng.New(1))
+	heart, breath, err := vitals.Estimate(cfg, phases)
+	if err != nil {
+		fmt.Println("estimate:", err)
+		return
+	}
+	fmt.Printf("heart ~%.0f bpm (truth %.0f)\n", vitals.BPM(heart), vitals.BPM(subject.HeartHz))
+	fmt.Printf("breath ~%.0f /min (truth %.0f)\n", vitals.BPM(breath), vitals.BPM(subject.BreathHz))
+	// Output:
+	// heart ~67 bpm (truth 66)
+	// breath ~15 /min (truth 15)
+}

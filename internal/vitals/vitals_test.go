@@ -1,0 +1,115 @@
+package vitals
+
+import (
+	"math"
+	"testing"
+
+	"zeiot/internal/rng"
+)
+
+func TestEstimateRestingAdult(t *testing.T) {
+	cfg := DefaultConfig()
+	s := RestingAdult()
+	phases := Capture(cfg, s, rng.New(1))
+	heart, breath, err := Estimate(cfg, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(heart-s.HeartHz) > 0.15 {
+		t.Fatalf("heart rate %.2f Hz, want ~%.2f", heart, s.HeartHz)
+	}
+	if math.Abs(breath-s.BreathHz) > 0.06 {
+		t.Fatalf("respiration %.2f Hz, want ~%.2f", breath, s.BreathHz)
+	}
+}
+
+func TestEstimateAcrossSubjects(t *testing.T) {
+	cfg := DefaultConfig()
+	stream := rng.New(2)
+	subjects := []Subject{
+		{HeartHz: 0.9, BreathHz: 0.2, HeartMM: 0.5, BreathMM: 4, Jitter: 0.03},
+		{HeartHz: 1.3, BreathHz: 0.3, HeartMM: 0.45, BreathMM: 3.5, Jitter: 0.04},
+		{HeartHz: 1.7, BreathHz: 0.4, HeartMM: 0.55, BreathMM: 3, Jitter: 0.03},
+	}
+	for i, s := range subjects {
+		phases := Capture(cfg, s, stream.Split("subject"))
+		heart, breath, err := Estimate(cfg, phases)
+		if err != nil {
+			t.Fatalf("subject %d: %v", i, err)
+		}
+		if math.Abs(heart-s.HeartHz) > 0.2 {
+			t.Fatalf("subject %d: heart %.2f want %.2f", i, heart, s.HeartHz)
+		}
+		if math.Abs(breath-s.BreathHz) > 0.08 {
+			t.Fatalf("subject %d: breath %.2f want %.2f", i, breath, s.BreathHz)
+		}
+	}
+}
+
+func TestArrayBeatsSingleTag(t *testing.T) {
+	// The tag array's averaging should estimate at least as well as a
+	// single tag on a noisy reader.
+	noisy := DefaultConfig()
+	noisy.Reader.PhaseNoise = 0.04
+	s := RestingAdult()
+	errOf := func(tags int, seed uint64) float64 {
+		cfg := noisy
+		cfg.Tags = tags
+		total, n := 0.0, 0
+		for trial := uint64(0); trial < 6; trial++ {
+			phases := Capture(cfg, s, rng.New(seed+trial))
+			heart, _, err := Estimate(cfg, phases)
+			if err != nil {
+				total += 1 // count failures as large error
+				n++
+				continue
+			}
+			total += math.Abs(heart - s.HeartHz)
+			n++
+		}
+		return total / float64(n)
+	}
+	single := errOf(1, 100)
+	array := errOf(4, 200)
+	if array > single+0.02 {
+		t.Fatalf("4-tag array error %.3f worse than single tag %.3f", array, single)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, _, err := Estimate(cfg, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Pure noise must not produce confident vitals.
+	stream := rng.New(3)
+	noise := make([][]float64, 2)
+	for i := range noise {
+		noise[i] = make([]float64, int(cfg.SampleHz*cfg.WindowSec))
+		for j := range noise[i] {
+			noise[i][j] = stream.Float64() * 2 * math.Pi
+		}
+	}
+	if _, _, err := Estimate(cfg, noise); err == nil {
+		t.Fatal("pure noise produced vitals")
+	}
+}
+
+func TestBPM(t *testing.T) {
+	if BPM(1.1) != 66 {
+		t.Fatalf("BPM(1.1) = %v", BPM(1.1))
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Capture(cfg, RestingAdult(), rng.New(5))
+	b := Capture(cfg, RestingAdult(), rng.New(5))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different captures")
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package wordfi implements Word-Fi-style handwriting recognition (§II.B,
+// ref [38]): a passive backscatter tag on the pen is phase-tracked by RFID
+// readers while the user writes, and the recovered pen trajectory is
+// classified into letters.
+//
+// The pipeline mirrors the cited system: ground-truth strokes → wrapped
+// phase streams at ≥3 readers (internal/rfid) → tracked trajectory →
+// scale/translation-invariant stroke features (direction histogram, start/
+// end geometry, turning) → k-NN classifier.
+package wordfi
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/ml"
+	"zeiot/internal/rfid"
+	"zeiot/internal/rng"
+)
+
+// Letters supported by the built-in stroke alphabet.
+var Letters = []rune{'C', 'L', 'M', 'O', 'V', 'Z'}
+
+// strokePath returns the pen path of a letter as normalized waypoints in a
+// unit box (x right, y up).
+func strokePath(letter rune) ([]geom.Point, error) {
+	switch letter {
+	case 'C':
+		var pts []geom.Point
+		for i := 0; i <= 12; i++ {
+			// Arc from top-right around the left side to bottom-right.
+			ang := math.Pi/3 + float64(i)/12*4*math.Pi/3
+			pts = append(pts, geom.Point{X: 0.5 + 0.5*math.Cos(ang), Y: 0.5 + 0.5*math.Sin(ang)})
+		}
+		return pts, nil
+	case 'L':
+		return []geom.Point{{X: 0, Y: 1}, {X: 0, Y: 0}, {X: 1, Y: 0}}, nil
+	case 'M':
+		return []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 0.5, Y: 0.4}, {X: 1, Y: 1}, {X: 1, Y: 0}}, nil
+	case 'O':
+		var pts []geom.Point
+		for i := 0; i <= 16; i++ {
+			ang := math.Pi/2 + float64(i)/16*2*math.Pi
+			pts = append(pts, geom.Point{X: 0.5 + 0.5*math.Cos(ang), Y: 0.5 + 0.5*math.Sin(ang)})
+		}
+		return pts, nil
+	case 'V':
+		return []geom.Point{{X: 0, Y: 1}, {X: 0.5, Y: 0}, {X: 1, Y: 1}}, nil
+	case 'Z':
+		return []geom.Point{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 0, Y: 0}, {X: 1, Y: 0}}, nil
+	default:
+		return nil, fmt.Errorf("wordfi: unsupported letter %q", letter)
+	}
+}
+
+// Config describes the capture setup.
+type Config struct {
+	Readers []rfid.Reader
+	// Origin is the writing area's lower-left corner; SizeM the letter
+	// height/width in metres.
+	Origin geom.Point
+	SizeM  float64
+	// StepM is the pen movement per phase sample (must stay below λ/4 for
+	// unambiguous tracking).
+	StepM float64
+	// WobbleM is per-sample hand tremor.
+	WobbleM float64
+}
+
+// DefaultConfig returns a desk-scale setup with four readers.
+func DefaultConfig() Config {
+	readers := []rfid.Reader{
+		rfid.UHFReader(geom.Point{X: -0.5, Y: -0.5}),
+		rfid.UHFReader(geom.Point{X: 1.5, Y: -0.5}),
+		rfid.UHFReader(geom.Point{X: 0.5, Y: 1.5}),
+		rfid.UHFReader(geom.Point{X: -0.5, Y: 1.2}),
+	}
+	for i := range readers {
+		readers[i].PhaseNoise = 0.05
+		readers[i].Offset = 0.3 * float64(i+1)
+	}
+	return Config{
+		Readers: readers,
+		Origin:  geom.Point{X: 0.3, Y: 0.3},
+		SizeM:   0.25,
+		StepM:   0.01,
+		WobbleM: 0.0015,
+	}
+}
+
+// Write simulates writing one letter: it returns the true pen trajectory
+// and the per-reader wrapped phase streams.
+func Write(cfg Config, letter rune, stream *rng.Stream) (truth []geom.Point, phases [][]float64, err error) {
+	path, err := strokePath(letter)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Densify the waypoint path to StepM-sized pen steps with tremor and
+	// per-writer slant/scale variation.
+	scale := cfg.SizeM * (0.9 + 0.2*stream.Float64())
+	slant := stream.NormMeanStd(0, 0.06)
+	place := func(p geom.Point) geom.Point {
+		return geom.Point{
+			X: cfg.Origin.X + scale*(p.X+slant*p.Y),
+			Y: cfg.Origin.Y + scale*p.Y,
+		}
+	}
+	pos := place(path[0])
+	truth = append(truth, pos)
+	for _, wp := range path[1:] {
+		target := place(wp)
+		for geom.Dist(pos, target) > cfg.StepM {
+			dir := target.Sub(pos)
+			dir = dir.Scale(cfg.StepM / dir.Norm())
+			pos = pos.Add(dir).Add(geom.Point{
+				X: stream.NormMeanStd(0, cfg.WobbleM),
+				Y: stream.NormMeanStd(0, cfg.WobbleM),
+			})
+			truth = append(truth, pos)
+		}
+		pos = target
+		truth = append(truth, pos)
+	}
+	phases = make([][]float64, len(cfg.Readers))
+	for ri, r := range cfg.Readers {
+		phases[ri] = make([]float64, len(truth))
+		for i, p := range truth {
+			phases[ri][i] = r.Phase(p, stream)
+		}
+	}
+	return truth, phases, nil
+}
+
+// Track recovers the pen trajectory from the phase streams, starting from
+// the known pen-down position (Word-Fi anchors on the tag's resting pose).
+func Track(cfg Config, start geom.Point, phases [][]float64) ([]geom.Point, error) {
+	tracker, err := rfid.NewTracker(cfg.Readers, start)
+	if err != nil {
+		return nil, err
+	}
+	if len(phases) != len(cfg.Readers) {
+		return nil, fmt.Errorf("wordfi: %d phase streams for %d readers", len(phases), len(cfg.Readers))
+	}
+	n := len(phases[0])
+	out := make([]geom.Point, 0, n)
+	sample := make([]float64, len(cfg.Readers))
+	for i := 0; i < n; i++ {
+		for ri := range cfg.Readers {
+			sample[ri] = phases[ri][i]
+		}
+		p, err := tracker.Observe(sample)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Features converts a trajectory into a scale/translation-invariant
+// vector: an 8-bin direction histogram over arc length, total turning,
+// aspect ratio, and normalized start→end displacement.
+func Features(traj []geom.Point) []float64 {
+	const bins = 8
+	hist := make([]float64, bins)
+	total := 0.0
+	turning := 0.0
+	prevAng := math.NaN()
+	minP, maxP := traj[0], traj[0]
+	for i := 1; i < len(traj); i++ {
+		d := traj[i].Sub(traj[i-1])
+		l := d.Norm()
+		if l < 1e-9 {
+			continue
+		}
+		ang := math.Atan2(d.Y, d.X)
+		bin := int((ang + math.Pi) / (2 * math.Pi) * bins)
+		if bin == bins {
+			bin = bins - 1
+		}
+		hist[bin] += l
+		total += l
+		if !math.IsNaN(prevAng) {
+			da := ang - prevAng
+			for da > math.Pi {
+				da -= 2 * math.Pi
+			}
+			for da < -math.Pi {
+				da += 2 * math.Pi
+			}
+			turning += da
+		}
+		prevAng = ang
+		minP.X = math.Min(minP.X, traj[i].X)
+		minP.Y = math.Min(minP.Y, traj[i].Y)
+		maxP.X = math.Max(maxP.X, traj[i].X)
+		maxP.Y = math.Max(maxP.Y, traj[i].Y)
+	}
+	out := make([]float64, 0, bins+4)
+	for _, h := range hist {
+		if total > 0 {
+			out = append(out, h/total)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	w := maxP.X - minP.X
+	h := maxP.Y - minP.Y
+	aspect := 1.0
+	if h > 1e-9 {
+		aspect = w / h
+	}
+	se := traj[len(traj)-1].Sub(traj[0])
+	norm := math.Max(total, 1e-9)
+	out = append(out, turning/(2*math.Pi), aspect, se.X/norm, se.Y/norm)
+	return out
+}
+
+// Recognizer classifies tracked letters.
+type Recognizer struct {
+	cfg Config
+	std *ml.Standardizer
+	clf ml.Classifier
+}
+
+// Train builds a recognizer from samplesPerLetter tracked writings of each
+// letter.
+func Train(cfg Config, samplesPerLetter int, stream *rng.Stream) (*Recognizer, error) {
+	if samplesPerLetter < 2 {
+		return nil, fmt.Errorf("wordfi: need >= 2 samples per letter, got %d", samplesPerLetter)
+	}
+	var data ml.Dataset
+	for li, letter := range Letters {
+		for i := 0; i < samplesPerLetter; i++ {
+			truth, phases, err := Write(cfg, letter, stream.Split(fmt.Sprintf("w-%c-%d", letter, i)))
+			if err != nil {
+				return nil, err
+			}
+			traj, err := Track(cfg, truth[0], phases)
+			if err != nil {
+				return nil, err
+			}
+			data.X = append(data.X, Features(traj))
+			data.Y = append(data.Y, li)
+		}
+	}
+	std := ml.FitStandardizer(data)
+	clf, err := ml.KNN{K: 3}.Fit(std.Apply(data))
+	if err != nil {
+		return nil, fmt.Errorf("wordfi: fitting classifier: %w", err)
+	}
+	return &Recognizer{cfg: cfg, std: std, clf: clf}, nil
+}
+
+// Classify recognizes one tracked trajectory.
+func (r *Recognizer) Classify(traj []geom.Point) rune {
+	one := ml.Dataset{X: [][]float64{Features(traj)}, Y: []int{0}}
+	return Letters[r.clf.Predict(r.std.Apply(one).X[0])]
+}
+
+// Evaluate writes trials fresh letters each and returns the accuracy.
+func (r *Recognizer) Evaluate(trials int, stream *rng.Stream) (float64, error) {
+	correct, total := 0, 0
+	for _, letter := range Letters {
+		for i := 0; i < trials; i++ {
+			truth, phases, err := Write(r.cfg, letter, stream.Split(fmt.Sprintf("e-%c-%d", letter, i)))
+			if err != nil {
+				return 0, err
+			}
+			traj, err := Track(r.cfg, truth[0], phases)
+			if err != nil {
+				return 0, err
+			}
+			if r.Classify(traj) == letter {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total), nil
+}

@@ -1,0 +1,125 @@
+package wordfi
+
+import (
+	"math"
+	"testing"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/rng"
+)
+
+func TestStrokePaths(t *testing.T) {
+	for _, letter := range Letters {
+		path, err := strokePath(letter)
+		if err != nil {
+			t.Fatalf("%c: %v", letter, err)
+		}
+		if len(path) < 3 {
+			t.Fatalf("%c: only %d waypoints", letter, len(path))
+		}
+		for _, p := range path {
+			if p.X < -0.01 || p.X > 1.01 || p.Y < -0.01 || p.Y > 1.01 {
+				t.Fatalf("%c: waypoint %v outside unit box", letter, p)
+			}
+		}
+	}
+	if _, err := strokePath('Q'); err == nil {
+		t.Fatal("unsupported letter accepted")
+	}
+}
+
+func TestWriteProducesDensePath(t *testing.T) {
+	cfg := DefaultConfig()
+	truth, phases, err := Write(cfg, 'Z', rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) < 20 {
+		t.Fatalf("trajectory only %d points", len(truth))
+	}
+	if len(phases) != len(cfg.Readers) {
+		t.Fatalf("phase streams = %d", len(phases))
+	}
+	for i := 1; i < len(truth); i++ {
+		if geom.Dist(truth[i], truth[i-1]) > 0.05 {
+			t.Fatalf("pen jumped %.3f m at step %d", geom.Dist(truth[i], truth[i-1]), i)
+		}
+	}
+}
+
+func TestTrackFollowsPen(t *testing.T) {
+	cfg := DefaultConfig()
+	truth, phases, err := Write(cfg, 'O', rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := Track(cfg, truth[0], phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != len(truth) {
+		t.Fatalf("tracked %d of %d points", len(traj), len(truth))
+	}
+	worst := 0.0
+	for i := range traj {
+		worst = math.Max(worst, geom.Dist(traj[i], truth[i]))
+	}
+	if worst > 0.03 {
+		t.Fatalf("max tracking error %.3f m", worst)
+	}
+}
+
+func TestFeaturesInvariantToScaleAndTranslation(t *testing.T) {
+	base := []geom.Point{{X: 0, Y: 1}, {X: 0, Y: 0}, {X: 1, Y: 0}} // an L
+	shifted := make([]geom.Point, len(base))
+	for i, p := range base {
+		shifted[i] = geom.Point{X: 3*p.X + 10, Y: 3*p.Y - 4}
+	}
+	fa := Features(base)
+	fb := Features(shifted)
+	for i := range fa {
+		if math.Abs(fa[i]-fb[i]) > 1e-9 {
+			t.Fatalf("feature %d not invariant: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestFeaturesDistinguishTurning(t *testing.T) {
+	// A circle has ~±2π total turning; a straight line none.
+	var circle []geom.Point
+	for i := 0; i <= 32; i++ {
+		ang := float64(i) / 32 * 2 * math.Pi
+		circle = append(circle, geom.Point{X: math.Cos(ang), Y: math.Sin(ang)})
+	}
+	line := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	turnCircle := Features(circle)[8]
+	turnLine := Features(line)[8]
+	if math.Abs(turnCircle) < 0.8 {
+		t.Fatalf("circle turning = %v, want ~±1", turnCircle)
+	}
+	if math.Abs(turnLine) > 0.05 {
+		t.Fatalf("line turning = %v, want ~0", turnLine)
+	}
+}
+
+func TestRecognizerAccuracy(t *testing.T) {
+	cfg := DefaultConfig()
+	stream := rng.New(3)
+	r, err := Train(cfg, 8, stream.Split("train"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := r.Evaluate(5, stream.Split("eval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("letter accuracy = %.3f", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(DefaultConfig(), 1, rng.New(1)); err == nil {
+		t.Fatal("1 sample per letter accepted")
+	}
+}

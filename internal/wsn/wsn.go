@@ -1,0 +1,341 @@
+// Package wsn simulates the wireless sensor networks the paper's systems
+// run on: nodes at XY coordinates (Fig. 8), a connectivity graph derived
+// from radio range, hop-count routing, and per-node communication counters.
+//
+// The counters are the paper's Fig. 10 metric: the "communication cost" of
+// a node is the number of scalar values it transmits (originating plus
+// forwarding) during a pass of the distributed computation. The package
+// also provides the two synchronized RSSI measurements of ref. [66]
+// (inter-node RSSI and surrounding RSSI) and node-failure injection for the
+// resilience experiment (E8).
+package wsn
+
+import (
+	"errors"
+	"fmt"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/radio"
+	"zeiot/internal/rng"
+)
+
+// ErrUnreachable is returned when no route exists between two nodes.
+var ErrUnreachable = errors.New("wsn: no route between nodes")
+
+// Node is one sensor node.
+type Node struct {
+	ID     int
+	Pos    geom.Point
+	Failed bool
+	// TxScalars counts scalar values this node transmitted (as source or
+	// forwarder); RxScalars counts values it received (as destination or
+	// forwarder).
+	TxScalars int
+	RxScalars int
+}
+
+// Network is a static multi-hop sensor network.
+type Network struct {
+	nodes    []*Node
+	maxRange float64
+	plan     *RadioPlan
+	adj      [][]int
+	hops     [][]int
+	next     [][]int
+	dirty    bool
+}
+
+// New builds a network from node positions; two live nodes are linked when
+// within maxRange metres of each other.
+func New(positions []geom.Point, maxRange float64) *Network {
+	if maxRange <= 0 {
+		panic("wsn: non-positive range")
+	}
+	n := &Network{maxRange: maxRange}
+	for i, p := range positions {
+		n.nodes = append(n.nodes, &Node{ID: i, Pos: p})
+	}
+	n.rebuild()
+	return n
+}
+
+// NewGrid builds a rows×cols grid with the given spacing in metres, linked
+// so that the four axial neighbours are in range (range = 1.5×spacing,
+// which excludes diagonals at distance √2·spacing ≈ 1.41·spacing only when
+// spacing differences matter; diagonals are included since 1.41 < 1.5,
+// matching the mesh-like deployments of Fig. 8).
+func NewGrid(rows, cols int, spacing float64) *Network {
+	if rows <= 0 || cols <= 0 {
+		panic("wsn: non-positive grid dims")
+	}
+	positions := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			positions = append(positions, geom.Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return New(positions, 1.5*spacing)
+}
+
+// NumNodes returns the node count, including failed nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id int) *Node { return n.nodes[id] }
+
+// Nodes returns all nodes. The slice must not be modified.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Live returns the ids of non-failed nodes.
+func (n *Network) Live() []int {
+	var out []int
+	for _, nd := range n.nodes {
+		if !nd.Failed {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// Fail marks a node as broken; it stops linking and forwarding.
+func (n *Network) Fail(id int) {
+	if !n.nodes[id].Failed {
+		n.nodes[id].Failed = true
+		n.dirty = true
+	}
+}
+
+// Recover brings a failed node back.
+func (n *Network) Recover(id int) {
+	if n.nodes[id].Failed {
+		n.nodes[id].Failed = false
+		n.dirty = true
+	}
+}
+
+func (n *Network) rebuild() {
+	size := len(n.nodes)
+	n.adj = make([][]int, size)
+	for i := 0; i < size; i++ {
+		if n.nodes[i].Failed {
+			continue
+		}
+		for j := 0; j < size; j++ {
+			if i == j || n.nodes[j].Failed {
+				continue
+			}
+			if n.linkExists(n.nodes[i], n.nodes[j]) {
+				n.adj[i] = append(n.adj[i], j)
+			}
+		}
+	}
+	// BFS from every node for hop counts and first-hop routing.
+	n.hops = make([][]int, size)
+	n.next = make([][]int, size)
+	queue := make([]int, 0, size)
+	for s := 0; s < size; s++ {
+		h := make([]int, size)
+		nx := make([]int, size)
+		for i := range h {
+			h[i] = -1
+			nx[i] = -1
+		}
+		n.hops[s] = h
+		n.next[s] = nx
+		if n.nodes[s].Failed {
+			continue
+		}
+		h[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range n.adj[u] {
+				if h[v] != -1 {
+					continue
+				}
+				h[v] = h[u] + 1
+				if u == s {
+					nx[v] = v
+				} else {
+					nx[v] = nx[u]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	n.dirty = false
+}
+
+func (n *Network) ensure() {
+	if n.dirty {
+		n.rebuild()
+	}
+}
+
+// Linked reports whether i and j share a direct link.
+func (n *Network) Linked(i, j int) bool {
+	n.ensure()
+	for _, v := range n.adj[i] {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the direct neighbours of i.
+func (n *Network) Neighbors(i int) []int {
+	n.ensure()
+	return n.adj[i]
+}
+
+// Hops returns the hop distance between i and j, or -1 if unreachable.
+func (n *Network) Hops(i, j int) int {
+	n.ensure()
+	return n.hops[i][j]
+}
+
+// Route returns the node sequence from i to j inclusive.
+func (n *Network) Route(i, j int) ([]int, error) {
+	n.ensure()
+	if n.hops[i][j] < 0 {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, i, j)
+	}
+	route := []int{i}
+	cur := i
+	for cur != j {
+		cur = n.next[cur][j]
+		route = append(route, cur)
+	}
+	return route, nil
+}
+
+// Connected reports whether all live nodes form one component.
+func (n *Network) Connected() bool {
+	n.ensure()
+	live := n.Live()
+	if len(live) <= 1 {
+		return true
+	}
+	s := live[0]
+	for _, v := range live[1:] {
+		if n.hops[s][v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Send transfers scalars values from node from to node to along the hop
+// route, charging every transmitting node's TxScalars and every receiving
+// node's RxScalars. Sending to self is free. It returns the number of hops
+// used.
+func (n *Network) Send(from, to, scalars int) (int, error) {
+	if scalars < 0 {
+		panic("wsn: negative scalar count")
+	}
+	if from == to || scalars == 0 {
+		return 0, nil
+	}
+	route, err := n.Route(from, to)
+	if err != nil {
+		return 0, err
+	}
+	for k := 0; k+1 < len(route); k++ {
+		n.nodes[route[k]].TxScalars += scalars
+		n.nodes[route[k+1]].RxScalars += scalars
+	}
+	return len(route) - 1, nil
+}
+
+// ResetCounters zeroes all communication counters.
+func (n *Network) ResetCounters() {
+	for _, nd := range n.nodes {
+		nd.TxScalars = 0
+		nd.RxScalars = 0
+	}
+}
+
+// Cost returns the node's communication cost: scalars transmitted plus
+// scalars received. Sensor radios burn comparable energy in both
+// directions, so the Fig. 10 "communication cost of a sensor node" counts
+// all radio activity.
+func (nd *Node) Cost() int { return nd.TxScalars + nd.RxScalars }
+
+// Costs returns each node's communication cost (the Fig. 10 metric).
+func (n *Network) Costs() []int {
+	out := make([]int, len(n.nodes))
+	for i, nd := range n.nodes {
+		out[i] = nd.Cost()
+	}
+	return out
+}
+
+// MaxCost returns the maximum per-node communication cost.
+func (n *Network) MaxCost() int {
+	maxC := 0
+	for _, nd := range n.nodes {
+		if c := nd.Cost(); c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// TotalCost returns the sum of per-node communication costs.
+func (n *Network) TotalCost() int {
+	t := 0
+	for _, nd := range n.nodes {
+		t += nd.Cost()
+	}
+	return t
+}
+
+// InterNodeRSSI measures the RSSI of every live link with the given radio
+// model, people as obstructing bodies (ref. [66]'s inter-node RSSI). The
+// result maps [i][j] to dBm for each directed live link; non-links are NaN
+// (absent from the map).
+type LinkRSSI struct {
+	From, To int
+	DBm      float64
+}
+
+// MeasureInterNode returns one synchronized sweep of inter-node RSSI over
+// all live links: txDBm through model, minus body attenuation for every
+// person whose body (radius bodyR) cuts the line of sight.
+func (n *Network) MeasureInterNode(model radio.LogDistance, txDBm float64, people []geom.Point, bodyR float64, stream *rng.Stream) []LinkRSSI {
+	n.ensure()
+	var out []LinkRSSI
+	for i := range n.nodes {
+		if n.nodes[i].Failed {
+			continue
+		}
+		for _, j := range n.adj[i] {
+			rssi := model.RSSI(txDBm, 0, 0, geom.Dist(n.nodes[i].Pos, n.nodes[j].Pos), stream)
+			rssi -= radio.ObstructionLossDB(n.nodes[i].Pos, n.nodes[j].Pos, people, bodyR)
+			out = append(out, LinkRSSI{From: i, To: j, DBm: rssi})
+		}
+	}
+	return out
+}
+
+// MeasureSurrounding returns, per live node, the aggregate power (dBm)
+// received from external transmitters (e.g. the phones people carry) — the
+// surrounding RSSI of ref. [66]. Nodes out of range of every device report
+// the noise floor.
+func (n *Network) MeasureSurrounding(model radio.LogDistance, deviceTxDBm float64, devices []geom.Point, noiseDBm float64, stream *rng.Stream) []float64 {
+	out := make([]float64, len(n.nodes))
+	for i, nd := range n.nodes {
+		total := radio.DBmToMilliwatts(noiseDBm)
+		if !nd.Failed {
+			for _, d := range devices {
+				rssi := model.RSSI(deviceTxDBm, 0, 0, geom.Dist(nd.Pos, d), stream)
+				total += radio.DBmToMilliwatts(rssi)
+			}
+		}
+		out[i] = radio.MilliwattsToDBm(total)
+	}
+	return out
+}
