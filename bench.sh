@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and append a dated record so perf
+# regressions are caught by diffing BENCH_<date> files across changes.
+#
+# Usage: ./bench.sh [go-test-bench-regexp]   (default: all benchmarks)
+set -eu
+
+pattern="${1:-.}"
+out="BENCH_$(date +%Y-%m-%d)"
+
+{
+  echo "# $(date -u +%Y-%m-%dT%H:%M:%SZ) commit $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  go test -run '^$' -bench "$pattern" -benchmem .
+} | tee -a "$out"
+
+echo "recorded in $out" >&2

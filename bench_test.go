@@ -17,23 +17,28 @@ import (
 // benchExperiment runs one paper-artifact experiment per iteration and
 // publishes its headline numbers as benchmark metrics, so a single
 // `go test -bench=.` regenerates (and records) every table and figure.
+// The metric-publishing run happens before the timer starts so ReportMetric
+// bookkeeping never pollutes ns/op.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	exp, err := zeiot.FindExperiment(id)
 	if err != nil {
 		b.Fatal(err)
 	}
+	res, err := exp.Run(1) // warm-up run, also supplies the metrics
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Run(1)
-		if err != nil {
+		if _, err := exp.Run(1); err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
-			for _, k := range res.SummaryKeys() {
-				b.ReportMetric(res.Summary[k], k)
-			}
-		}
+	}
+	b.StopTimer()
+	for _, k := range res.SummaryKeys() {
+		b.ReportMetric(res.Summary[k], k)
 	}
 }
 

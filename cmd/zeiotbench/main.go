@@ -5,6 +5,7 @@
 //	zeiotbench                 # run every experiment
 //	zeiotbench -e e1,e6        # run selected experiments
 //	zeiotbench -seed 7         # change the root seed
+//	zeiotbench -parallel 4     # run up to 4 experiments concurrently
 //	zeiotbench -list           # list experiments
 package main
 
@@ -13,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"zeiot"
@@ -25,10 +28,11 @@ func main() {
 
 func run() int {
 	var (
-		ids     = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		seed    = flag.Uint64("seed", 1, "root random seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+		ids      = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+		parallel = flag.Int("parallel", 1, "max experiments run concurrently (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -53,30 +57,57 @@ func run() int {
 		}
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	// Each experiment derives its own rng stream from the root seed, so
+	// running them concurrently cannot change any result — only the wall
+	// clock. Results are collected per index and printed in order.
+	results := make([]*zeiot.Result, len(selected))
+	durations := make([]time.Duration, len(selected))
+	errs := make([]error, len(selected))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, e zeiot.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			results[i], errs[i] = e.Run(*seed)
+			durations[i] = time.Since(start)
+		}(i, e)
+	}
+	wg.Wait()
+
 	failed := 0
-	var results []*zeiot.Result
-	for _, e := range selected {
-		start := time.Now()
-		result, err := e.Run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+	var jsonResults []*zeiot.Result
+	for i, e := range selected {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, errs[i])
 			failed++
 			continue
 		}
 		if *jsonOut {
-			results = append(results, result)
+			jsonResults = append(jsonResults, results[i])
 			continue
 		}
-		if _, err := result.WriteTo(os.Stdout); err != nil {
+		if _, err := results[i].WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %s)\n\n", e.ID, durations[i].Round(time.Millisecond))
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(jsonResults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

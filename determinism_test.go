@@ -1,0 +1,82 @@
+package zeiot_test
+
+import (
+	"fmt"
+	"testing"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/dataset"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// loungeSamples generates a small slice of the e2 lounge dataset for
+// training-path tests.
+func loungeSamples(t *testing.T, n int) []cnn.Sample {
+	t.Helper()
+	cfg := dataset.DefaultLoungeConfig()
+	cfg.Seed = 7
+	cfg.Samples = n
+	samples, err := dataset.GenerateLounge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestTrainEpochParallelBitIdentical trains the e2 CNN for two epochs with
+// the sequential and the data-parallel path at the same seed and requires
+// the final weights to be bit-identical at every worker count. The parallel
+// path shards forward passes but reduces gradients in sample order, so any
+// drift here is a real reordering bug, not float noise — hence tol 0.
+func TestTrainEpochParallelBitIdentical(t *testing.T) {
+	samples := loungeSamples(t, 96)
+	const epochs, batch = 2, 16
+
+	ref := benchNet2(1)
+	ref.Fit(samples, epochs, batch, cnn.NewSGD(0.02, 0.9), rng.New(3).Split("fit"))
+
+	for _, workers := range []int{2, 3, 5, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			par := benchNet2(1)
+			par.FitParallel(samples, epochs, batch, workers, cnn.NewSGD(0.02, 0.9), rng.New(3).Split("fit"))
+			assertSameParams(t, ref, par)
+		})
+	}
+}
+
+// benchNet2 builds the e2 lounge topology from a seed (weights only; no
+// input tensor, unlike benchNet).
+func benchNet2(seed uint64) *cnn.Network {
+	s := rng.New(seed)
+	return cnn.NewNetwork([]int{1, 17, 25},
+		cnn.NewConv2D(1, 4, 3, 3, 1, 1, s.Split("c")),
+		cnn.NewReLU(),
+		cnn.NewMaxPool2D(3, 3),
+		cnn.NewFlatten(),
+		cnn.NewDense(4*5*8, 16, s.Split("d1")),
+		cnn.NewReLU(),
+		cnn.NewDense(16, 2, s.Split("d2")),
+	)
+}
+
+func assertSameParams(t *testing.T, a, b *cnn.Network) {
+	t.Helper()
+	la, lb := a.Layers(), b.Layers()
+	if len(la) != len(lb) {
+		t.Fatalf("layer count %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		pa, ok := la[i].(cnn.ParamLayer)
+		if !ok {
+			continue
+		}
+		pb := lb[i].(cnn.ParamLayer)
+		ta, tb := pa.Params(), pb.Params()
+		for j := range ta {
+			if !tensor.Equal(ta[j], tb[j], 0) {
+				t.Errorf("layer %d (%s) param %d differs from sequential result", i, la[i].Name(), j)
+			}
+		}
+	}
+}

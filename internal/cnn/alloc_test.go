@@ -1,0 +1,71 @@
+//go:build !race
+
+package cnn
+
+import (
+	"testing"
+
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// The race detector instruments allocations, so these steady-state alloc
+// budgets only hold in normal builds (hence the build tag above).
+
+func allocNet(seed uint64) (*Network, *tensor.Tensor) {
+	s := rng.New(seed)
+	net := NewNetwork([]int{1, 17, 25},
+		NewConv2D(1, 4, 3, 3, 1, 1, s.Split("c")),
+		NewReLU(),
+		NewMaxPool2D(3, 3),
+		NewFlatten(),
+		NewDense(4*5*8, 16, s.Split("d1")),
+		NewReLU(),
+		NewDense(16, 2, s.Split("d2")),
+	)
+	in := tensor.New(1, 17, 25)
+	d := in.Data()
+	for i := range d {
+		d[i] = s.NormMeanStd(0, 1)
+	}
+	return net, in
+}
+
+// TestForwardAllocFree guards the scratch-buffer design: once warmed, a full
+// network forward pass must not allocate (budget ≤ 2 allows for runtime
+// noise like stack growth, not for per-layer buffers).
+func TestForwardAllocFree(t *testing.T) {
+	net, in := allocNet(1)
+	net.Forward(in) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		net.Forward(in)
+	})
+	if allocs > 2 {
+		t.Errorf("Network.Forward allocates %.1f objects/op after warm-up, want <= 2", allocs)
+	}
+}
+
+// TestConvBackwardAllocFree guards Conv2D's backward scratch reuse.
+func TestConvBackwardAllocFree(t *testing.T) {
+	s := rng.New(2)
+	c := NewConv2D(1, 4, 3, 3, 1, 1, s.Split("c"))
+	in := tensor.New(1, 17, 25)
+	d := in.Data()
+	for i := range d {
+		d[i] = s.NormMeanStd(0, 1)
+	}
+	out := c.Forward(in)
+	gradOut := tensor.New(out.Shape()...)
+	g := gradOut.Data()
+	for i := range g {
+		g[i] = s.NormMeanStd(0, 1)
+	}
+	c.Backward(gradOut) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Forward(in)
+		c.Backward(gradOut)
+	})
+	if allocs > 2 {
+		t.Errorf("Conv2D Forward+Backward allocates %.1f objects/op after warm-up, want <= 2", allocs)
+	}
+}

@@ -341,7 +341,9 @@ func TestReplicaHooksMatchSharedWhenIdentical(t *testing.T) {
 	s := rng.New(31)
 	c := NewConv2D(1, 3, 3, 3, 1, 1, s)
 	in := randomInput(s, 1, 5, 5)
-	want := c.Forward(in)
+	// Clone: layer outputs are reusable scratch, and the second Forward
+	// below would otherwise overwrite (and alias) the first result.
+	want := c.Forward(in).Clone()
 	c.SetReplicaHooks(
 		func(oy, ox int) *tensor.Tensor { return c.Weight() },
 		func(oy, ox int) *tensor.Tensor { return c.Grads()[0] },

@@ -19,6 +19,9 @@ type Conv2D struct {
 	weight, bias *tensor.Tensor
 	gradW, gradB *tensor.Tensor
 	lastIn       *tensor.Tensor
+	// out and gradIn are reusable scratch buffers (see the package comment
+	// on buffer ownership).
+	out, gradIn *tensor.Tensor
 	// kernelFor, when non-nil, returns the kernel replica to use at output
 	// position (oy, ox) instead of the shared weight tensor. Package
 	// microdeep installs this hook to emulate per-node weight replicas;
@@ -87,6 +90,16 @@ func (c *Conv2D) SetReplicaHooks(kernelFor, gradFor func(oy, ox int) *tensor.Ten
 	c.gradFor = gradFor
 }
 
+// shadow implements shadowLayer: the clone shares parameters, gradients and
+// replica hooks with c but owns its forward/backward scratch.
+func (c *Conv2D) shadow() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW, Stride: c.Stride, Pad: c.Pad,
+		weight: c.weight, bias: c.bias, gradW: c.gradW, gradB: c.gradB,
+		kernelFor: c.kernelFor, gradFor: c.gradFor,
+	}
+}
+
 // OutShape implements Layer.
 func (c *Conv2D) OutShape(in []int) []int {
 	if len(in) != 3 || in[0] != c.InC {
@@ -107,44 +120,76 @@ func (c *Conv2D) Receptive(oy, ox int) (y0, y1, x0, x1 int) {
 	return y0, y0 + c.KH - 1, x0, x0 + c.KW - 1
 }
 
-// Forward implements Layer.
+// kernelWindow returns the in-range [k0, k1) slice of kernel offsets for an
+// output coordinate o against input extent n (clipping the zero padding).
+func kernelWindow(o, stride, pad, ksize, n int) (k0, k1 int) {
+	k0 = pad - o*stride
+	if k0 < 0 {
+		k0 = 0
+	}
+	k1 = n - o*stride + pad
+	if k1 > ksize {
+		k1 = ksize
+	}
+	return k0, k1
+}
+
+// Forward implements Layer. The returned tensor and the cached input are
+// owned by the layer until its next Forward call; the input must stay
+// unmodified until Backward runs.
 func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
-	c.lastIn = in.Clone()
-	outShape := c.OutShape(in.Shape())
-	oh, ow := outShape[1], outShape[2]
+	if in.Dims() != 3 || in.Dim(0) != c.InC {
+		panic(fmt.Sprintf("cnn: conv input shape %v, want (%d,H,W)", in.Shape(), c.InC))
+	}
+	c.lastIn = in
 	h, w := in.Dim(1), in.Dim(2)
-	out := tensor.New(c.OutC, oh, ow)
+	// Inline OutShape: building the shape slice would allocate per call.
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: conv output collapses for input %v", in.Shape()))
+	}
+	c.out = tensor.Ensure(c.out, c.OutC, oh, ow)
+	ind := in.Data()
+	outd := c.out.Data()
+	biasd := c.bias.Data()
+	khkw := c.KH * c.KW
+	kcs := c.InC * khkw // kernel stride per output channel
 	for oy := 0; oy < oh; oy++ {
+		ky0, ky1 := kernelWindow(oy, c.Stride, c.Pad, c.KH, h)
+		iyBase := oy*c.Stride - c.Pad
 		for ox := 0; ox < ow; ox++ {
 			kernel := c.weight
 			if c.kernelFor != nil {
 				kernel = c.kernelFor(oy, ox)
 			}
+			kd := kernel.Data()
+			kx0, kx1 := kernelWindow(ox, c.Stride, c.Pad, c.KW, w)
+			ixBase := ox*c.Stride - c.Pad
 			for oc := 0; oc < c.OutC; oc++ {
-				sum := c.bias.At(oc)
+				sum := biasd[oc]
+				kocBase := oc * kcs
 				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
-						iy := oy*c.Stride - c.Pad + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < c.KW; kx++ {
-							ix := ox*c.Stride - c.Pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							sum += kernel.At(oc, ic, ky, kx) * in.At(ic, iy, ix)
+					icBase := ic * h * w
+					kicBase := kocBase + ic*khkw
+					for ky := ky0; ky < ky1; ky++ {
+						iOff := icBase + (iyBase+ky)*w + ixBase
+						irow := ind[iOff+kx0 : iOff+kx1]
+						krow := kd[kicBase+ky*c.KW+kx0 : kicBase+ky*c.KW+kx1]
+						for i, kv := range krow {
+							sum += kv * irow[i]
 						}
 					}
 				}
-				out.Set(sum, oc, oy, ox)
+				outd[(oc*oh+oy)*ow+ox] = sum
 			}
 		}
 	}
-	return out
+	return c.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient tensor is owned by the
+// layer until its next Backward call.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.lastIn == nil {
 		panic("cnn: Conv2D backward before forward")
@@ -152,8 +197,17 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	in := c.lastIn
 	h, w := in.Dim(1), in.Dim(2)
 	oh, ow := gradOut.Dim(1), gradOut.Dim(2)
-	gradIn := tensor.New(c.InC, h, w)
+	c.gradIn = tensor.Ensure(c.gradIn, c.InC, h, w)
+	c.gradIn.Zero()
+	ind := in.Data()
+	gid := c.gradIn.Data()
+	god := gradOut.Data()
+	gbd := c.gradB.Data()
+	khkw := c.KH * c.KW
+	kcs := c.InC * khkw
 	for oy := 0; oy < oh; oy++ {
+		ky0, ky1 := kernelWindow(oy, c.Stride, c.Pad, c.KH, h)
+		iyBase := oy*c.Stride - c.Pad
 		for ox := 0; ox < ow; ox++ {
 			kernel := c.weight
 			gw := c.gradW
@@ -161,30 +215,31 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				kernel = c.kernelFor(oy, ox)
 				gw = c.gradFor(oy, ox)
 			}
+			kd := kernel.Data()
+			gwd := gw.Data()
+			kx0, kx1 := kernelWindow(ox, c.Stride, c.Pad, c.KW, w)
+			ixBase := ox*c.Stride - c.Pad
 			for oc := 0; oc < c.OutC; oc++ {
-				g := gradOut.At(oc, oy, ox)
+				g := god[(oc*oh+oy)*ow+ox]
 				if g == 0 {
 					continue
 				}
-				c.gradB.Data()[oc] += g
+				gbd[oc] += g
+				kocBase := oc * kcs
 				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
-						iy := oy*c.Stride - c.Pad + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < c.KW; kx++ {
-							ix := ox*c.Stride - c.Pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							gw.Set(gw.At(oc, ic, ky, kx)+g*in.At(ic, iy, ix), oc, ic, ky, kx)
-							gradIn.Set(gradIn.At(ic, iy, ix)+g*kernel.At(oc, ic, ky, kx), ic, iy, ix)
+					icBase := ic * h * w
+					kicBase := kocBase + ic*khkw
+					for ky := ky0; ky < ky1; ky++ {
+						iOff := icBase + (iyBase+ky)*w + ixBase
+						kOff := kicBase + ky*c.KW
+						for kx := kx0; kx < kx1; kx++ {
+							gwd[kOff+kx] += g * ind[iOff+kx]
+							gid[iOff+kx] += g * kd[kOff+kx]
 						}
 					}
 				}
 			}
 		}
 	}
-	return gradIn
+	return c.gradIn
 }

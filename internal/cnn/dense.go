@@ -15,6 +15,7 @@ type Dense struct {
 	weight, bias *tensor.Tensor
 	gradW, gradB *tensor.Tensor
 	lastIn       *tensor.Tensor
+	out, gradIn  *tensor.Tensor
 }
 
 var (
@@ -61,6 +62,14 @@ func (d *Dense) ZeroGrads() {
 // Weight returns the (out, in) weight matrix.
 func (d *Dense) Weight() *tensor.Tensor { return d.weight }
 
+// shadow implements shadowLayer.
+func (d *Dense) shadow() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		weight: d.weight, bias: d.bias, gradW: d.gradW, gradB: d.gradB,
+	}
+}
+
 // OutShape implements Layer.
 func (d *Dense) OutShape(in []int) []int {
 	if len(in) != 1 || in[0] != d.In {
@@ -69,18 +78,31 @@ func (d *Dense) OutShape(in []int) []int {
 	return []int{d.Out}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer until
+// its next Forward call; the input must stay unmodified until Backward runs.
 func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Dims() != 1 || in.Dim(0) != d.In {
 		panic(fmt.Sprintf("cnn: dense forward shape %v, want (%d)", in.Shape(), d.In))
 	}
-	d.lastIn = in.Clone()
-	out := tensor.MatVec(d.weight, in)
-	out.AddInPlace(d.bias)
-	return out
+	d.lastIn = in
+	d.out = tensor.Ensure(d.out, d.Out)
+	od := d.out.Data()
+	wd := d.weight.Data()
+	bd := d.bias.Data()
+	xd := in.Data()
+	for o := 0; o < d.Out; o++ {
+		sum := 0.0
+		row := wd[o*d.In : (o+1)*d.In]
+		for p, w := range row {
+			sum += w * xd[p]
+		}
+		od[o] = sum + bd[o]
+	}
+	return d.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient tensor is owned by the
+// layer until its next Backward call.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if d.lastIn == nil {
 		panic("cnn: Dense backward before forward")
@@ -99,8 +121,9 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			row[i] += g * in[i]
 		}
 	}
-	gradIn := tensor.New(d.In)
-	gi := gradIn.Data()
+	d.gradIn = tensor.Ensure(d.gradIn, d.In)
+	d.gradIn.Zero()
+	gi := d.gradIn.Data()
 	wd := d.weight.Data()
 	for o := 0; o < d.Out; o++ {
 		g := go2[o]
@@ -112,5 +135,5 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			gi[i] += g * row[i]
 		}
 	}
-	return gradIn
+	return d.gradIn
 }

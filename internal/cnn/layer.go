@@ -9,6 +9,18 @@
 // a network therefore processes one sample at a time (mini-batches are
 // accumulated by the optimizer), which keeps the per-unit computation model
 // identical to the distributed execution in package microdeep.
+//
+// # Buffer ownership
+//
+// Layers keep reusable scratch arenas: the tensor returned by Forward (and
+// by Backward) is owned by the layer and is overwritten by that layer's next
+// Forward (Backward) call, and a layer caches a reference to — not a copy
+// of — its forward input. Consequently: (1) results that must outlive the
+// next call have to be Clone()d; (2) an input must stay unmodified until the
+// matching Backward has run; (3) a layer instance may appear at most once in
+// a network. This is what keeps the steady-state hot path allocation-free.
+// For concurrent training, TrainEpochParallel gives every in-flight sample
+// its own shadow layer stack (see shadowLayer).
 package cnn
 
 import (
@@ -20,10 +32,12 @@ import (
 // Layer is one stage of the network.
 type Layer interface {
 	// Forward computes the layer output for in, caching whatever Backward
-	// needs.
+	// needs. The returned tensor is scratch owned by the layer (see the
+	// package comment on buffer ownership).
 	Forward(in *tensor.Tensor) *tensor.Tensor
 	// Backward consumes dLoss/dOutput and returns dLoss/dInput, also
-	// accumulating parameter gradients where applicable.
+	// accumulating parameter gradients where applicable. The returned
+	// tensor is scratch owned by the layer.
 	Backward(gradOut *tensor.Tensor) *tensor.Tensor
 	// OutShape returns the output shape for a given input shape.
 	OutShape(in []int) []int
@@ -54,9 +68,19 @@ type SpatialLayer interface {
 	Receptive(oy, ox int) (y0, y1, x0, x1 int)
 }
 
+// shadowLayer is implemented by every built-in layer. shadow returns a
+// layer that shares parameter and gradient tensors (and replica hooks) with
+// the receiver but owns its forward/backward scratch state, so several
+// samples can be in flight concurrently while gradients still reduce into
+// the one canonical set of tensors.
+type shadowLayer interface {
+	shadow() Layer
+}
+
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	mask []bool
+	mask        []bool
+	out, gradIn *tensor.Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -67,26 +91,31 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Name implements Layer.
 func (r *ReLU) Name() string { return "relu" }
 
+// shadow implements shadowLayer.
+func (r *ReLU) shadow() Layer { return &ReLU{} }
+
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
-	out := in.Clone()
-	data := out.Data()
-	if cap(r.mask) < len(data) {
-		r.mask = make([]bool, len(data))
+	r.out = tensor.Ensure(r.out, in.Shape()...)
+	data := r.out.Data()
+	ind := in.Data()
+	if cap(r.mask) < len(ind) {
+		r.mask = make([]bool, len(ind))
 	}
-	r.mask = r.mask[:len(data)]
-	for i, v := range data {
+	r.mask = r.mask[:len(ind)]
+	for i, v := range ind {
 		if v > 0 {
 			r.mask[i] = true
+			data[i] = v
 		} else {
 			r.mask[i] = false
 			data[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
@@ -94,19 +123,24 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != gradOut.Size() {
 		panic(fmt.Sprintf("cnn: ReLU backward before forward (mask %d, grad %d)", len(r.mask), gradOut.Size()))
 	}
-	in := gradOut.Clone()
-	data := in.Data()
-	for i := range data {
-		if !r.mask[i] {
+	r.gradIn = tensor.Ensure(r.gradIn, gradOut.Shape()...)
+	data := r.gradIn.Data()
+	god := gradOut.Data()
+	for i, g := range god {
+		if r.mask[i] {
+			data[i] = g
+		} else {
 			data[i] = 0
 		}
 	}
-	return in
+	return r.gradIn
 }
 
-// Flatten reshapes any input to a 1-D vector.
+// Flatten reshapes any input to a 1-D vector. Forward and Backward return
+// zero-copy views over the input and gradient data respectively.
 type Flatten struct {
-	inShape []int
+	inShape     []int
+	out, gradIn *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -117,6 +151,9 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Name implements Layer.
 func (f *Flatten) Name() string { return "flatten" }
 
+// shadow implements shadowLayer.
+func (f *Flatten) shadow() Layer { return &Flatten{} }
+
 // OutShape implements Layer.
 func (f *Flatten) OutShape(in []int) []int {
 	n := 1
@@ -126,13 +163,39 @@ func (f *Flatten) OutShape(in []int) []int {
 	return []int{n}
 }
 
+// sameBacking reports whether two slices share the same backing array start
+// and length — the cheap test that lets Flatten reuse its cached view.
+func sameBacking(a, b []float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
 // Forward implements Layer.
 func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
 	f.inShape = append(f.inShape[:0], in.Shape()...)
-	return in.Clone().Reshape(in.Size())
+	d := in.Data()
+	if f.out == nil || !sameBacking(f.out.Data(), d) {
+		f.out = tensor.FromSlice(d, len(d))
+	}
+	return f.out
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	return gradOut.Clone().Reshape(f.inShape...)
+	d := gradOut.Data()
+	if f.gradIn == nil || !sameBacking(f.gradIn.Data(), d) || !shapeEq(f.gradIn.Shape(), f.inShape) {
+		f.gradIn = tensor.FromSlice(d, f.inShape...)
+	}
+	return f.gradIn
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

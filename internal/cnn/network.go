@@ -3,15 +3,24 @@ package cnn
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"zeiot/internal/rng"
 	"zeiot/internal/tensor"
 )
 
 // Network is an ordered stack of layers trained with softmax cross-entropy.
+//
+// A Network is not safe for concurrent use; TrainEpochParallel manages its
+// own internal worker goroutines over shadow layer stacks.
 type Network struct {
 	layers  []Layer
 	inShape []int
+	// slots are cached shadow networks (one per in-flight sample) used by
+	// TrainEpochParallel; they share parameter and gradient tensors with
+	// this network but own their scratch buffers.
+	slots []*Network
 }
 
 // NewNetwork returns a network accepting inputs of the given shape.
@@ -41,7 +50,9 @@ func (n *Network) OutShape() []int {
 	return shape
 }
 
-// Forward runs all layers and returns the logits.
+// Forward runs all layers and returns the logits. The returned tensor is
+// scratch owned by the final layer: it is valid until the next Forward call
+// (Clone it to keep it).
 func (n *Network) Forward(in *tensor.Tensor) *tensor.Tensor {
 	x := in
 	for _, l := range n.layers {
@@ -71,6 +82,21 @@ func (n *Network) ZeroGrads() {
 // Predict returns the argmax class for in.
 func (n *Network) Predict(in *tensor.Tensor) int {
 	return n.Forward(in).Argmax()
+}
+
+// shadowNet returns a network sharing every parameter and gradient tensor
+// with n but owning per-layer scratch state, or nil if any layer does not
+// support shadowing (external Layer implementations).
+func (n *Network) shadowNet() *Network {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		s, ok := l.(shadowLayer)
+		if !ok {
+			return nil
+		}
+		layers[i] = s.shadow()
+	}
+	return &Network{layers: layers, inShape: n.inShape}
 }
 
 // Softmax returns the softmax of logits, computed stably.
@@ -124,6 +150,36 @@ type SGD struct {
 func NewSGD(lr, momentum float64) *SGD {
 	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Tensor]*tensor.Tensor)}
 }
+
+// Reset drops all per-parameter momentum state, releasing the buffers for
+// garbage collection. Use it when every network the optimizer touched is
+// retired; the next Step starts from zero velocity.
+func (s *SGD) Reset() {
+	clear(s.velocity)
+}
+
+// Release drops the momentum state of the given parameter tensors. Long
+// multi-trial experiments that retire networks (or MicroDeep kernel
+// replicas) while keeping one optimizer alive should release the retired
+// parameters so their velocity buffers do not accumulate.
+func (s *SGD) Release(params ...*tensor.Tensor) {
+	for _, p := range params {
+		delete(s.velocity, p)
+	}
+}
+
+// ReleaseNetwork drops the momentum state of every parameter of n.
+func (s *SGD) ReleaseNetwork(n *Network) {
+	for _, l := range n.layers {
+		if pl, ok := l.(ParamLayer); ok {
+			s.Release(pl.Params()...)
+		}
+	}
+}
+
+// StateSize returns the number of parameter tensors the optimizer currently
+// holds momentum buffers for (exposed for leak tests).
+func (s *SGD) StateSize() int { return len(s.velocity) }
 
 // Step applies one update: p -= lr*(g/batch + decay*p), with momentum.
 func (s *SGD) Step(params, grads []*tensor.Tensor, batch int) {
@@ -193,6 +249,78 @@ func (n *Network) TrainEpoch(samples []Sample, perm []int, batch int, opt *SGD) 
 	return total / float64(count)
 }
 
+// TrainEpochParallel is TrainEpoch with each mini-batch's forward passes
+// sharded across worker goroutines (workers <= 0 selects runtime.NumCPU()).
+// Every in-flight sample runs on its own shadow layer stack sharing the
+// canonical parameter tensors, and the backward passes then reduce their
+// gradients sequentially in sample order — the same elementary accumulation
+// order as TrainEpoch — so the result is bit-identical to the sequential
+// path at every worker count.
+func (n *Network) TrainEpochParallel(samples []Sample, perm []int, batch, workers int, opt *SGD) float64 {
+	if batch <= 0 {
+		panic("cnn: non-positive batch size")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > batch {
+		workers = batch
+	}
+	if workers == 1 {
+		return n.TrainEpoch(samples, perm, batch, opt)
+	}
+	for len(n.slots) < batch {
+		sn := n.shadowNet()
+		if sn == nil {
+			// A layer without shadow support: fall back to the (identical)
+			// sequential path.
+			return n.TrainEpoch(samples, perm, batch, opt)
+		}
+		n.slots = append(n.slots, sn)
+	}
+	logits := make([]*tensor.Tensor, batch)
+	total := 0.0
+	count := 0
+	n.ZeroGrads()
+	for start := 0; start < len(perm); start += batch {
+		end := start + batch
+		if end > len(perm) {
+			end = len(perm)
+		}
+		bsz := end - start
+		w := workers
+		if w > bsz {
+			w = bsz
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for j := g; j < bsz; j += w {
+					logits[j] = n.slots[j].Forward(samples[perm[start+j]].Input)
+				}
+			}(g)
+		}
+		wg.Wait()
+		// Sequential reduction in sample order: backward accumulates into
+		// the shared gradient tensors exactly as TrainEpoch would.
+		for j := 0; j < bsz; j++ {
+			s := samples[perm[start+j]]
+			loss, grad := CrossEntropy(logits[j], s.Label)
+			total += loss
+			count++
+			n.slots[j].Backward(grad)
+		}
+		opt.StepNetwork(n, bsz)
+		n.ZeroGrads()
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
 // Evaluate returns classification accuracy over samples.
 func (n *Network) Evaluate(samples []Sample) float64 {
 	if len(samples) == 0 {
@@ -213,6 +341,17 @@ func (n *Network) Fit(samples []Sample, epochs, batch int, opt *SGD, stream *rng
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
 		loss = n.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+	}
+	return loss
+}
+
+// FitParallel is Fit using TrainEpochParallel; it consumes the stream
+// identically to Fit, so at the same seed the trained weights are
+// bit-identical to the sequential path.
+func (n *Network) FitParallel(samples []Sample, epochs, batch, workers int, opt *SGD, stream *rng.Stream) float64 {
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		loss = n.TrainEpochParallel(samples, stream.Perm(len(samples)), batch, workers, opt)
 	}
 	return loss
 }

@@ -11,6 +11,7 @@ type MaxPool2D struct {
 	Size, Stride int
 	inShape      []int
 	argmax       []int // flat input index of each output's max
+	out, gradIn  *tensor.Tensor
 }
 
 var (
@@ -36,6 +37,9 @@ func NewMaxPool2D(size, stride int) *MaxPool2D {
 // Name implements Layer.
 func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", p.Size, p.Size) }
 
+// shadow implements shadowLayer.
+func (p *MaxPool2D) shadow() Layer { return &MaxPool2D{Size: p.Size, Stride: p.Stride} }
+
 // OutShape implements Layer.
 func (p *MaxPool2D) OutShape(in []int) []int {
 	if len(in) != 3 {
@@ -56,58 +60,74 @@ func (p *MaxPool2D) Receptive(oy, ox int) (y0, y1, x0, x1 int) {
 	return y0, y0 + p.Size - 1, x0, x0 + p.Size - 1
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer until
+// its next Forward call.
 func (p *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
-	p.inShape = append(p.inShape[:0], in.Shape()...)
-	outShape := p.OutShape(in.Shape())
-	ch, oh, ow := outShape[0], outShape[1], outShape[2]
-	h, w := in.Dim(1), in.Dim(2)
-	out := tensor.New(ch, oh, ow)
-	if cap(p.argmax) < out.Size() {
-		p.argmax = make([]int, out.Size())
+	if in.Dims() != 3 {
+		panic(fmt.Sprintf("cnn: pool input shape %v, want 3-d", in.Shape()))
 	}
-	p.argmax = p.argmax[:out.Size()]
+	p.inShape = append(p.inShape[:0], in.Shape()...)
+	ch, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	// Inline OutShape: building the shape slice would allocate per call.
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: pool output collapses for input %v", in.Shape()))
+	}
+	p.out = tensor.Ensure(p.out, ch, oh, ow)
+	ind := in.Data()
+	outd := p.out.Data()
+	if cap(p.argmax) < len(outd) {
+		p.argmax = make([]int, len(outd))
+	}
+	p.argmax = p.argmax[:len(outd)]
 	idx := 0
 	for c := 0; c < ch; c++ {
+		cBase := c * h * w
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy * p.Stride
+			ky1 := p.Size
+			if iy0+ky1 > h {
+				ky1 = h - iy0
+			}
 			for ox := 0; ox < ow; ox++ {
-				best := in.At(c, oy*p.Stride, ox*p.Stride)
-				bestFlat := (c*h+oy*p.Stride)*w + ox*p.Stride
-				for ky := 0; ky < p.Size; ky++ {
-					iy := oy*p.Stride + ky
-					if iy >= h {
-						break
-					}
-					for kx := 0; kx < p.Size; kx++ {
-						ix := ox*p.Stride + kx
-						if ix >= w {
-							break
-						}
-						v := in.At(c, iy, ix)
+				ix0 := ox * p.Stride
+				kx1 := p.Size
+				if ix0+kx1 > w {
+					kx1 = w - ix0
+				}
+				bestFlat := cBase + iy0*w + ix0
+				best := ind[bestFlat]
+				for ky := 0; ky < ky1; ky++ {
+					row := cBase + (iy0+ky)*w + ix0
+					for kx := 0; kx < kx1; kx++ {
+						v := ind[row+kx]
 						if v > best {
 							best = v
-							bestFlat = (c*h+iy)*w + ix
+							bestFlat = row + kx
 						}
 					}
 				}
-				out.Set(best, c, oy, ox)
+				outd[idx] = best
 				p.argmax[idx] = bestFlat
 				idx++
 			}
 		}
 	}
-	return out
+	return p.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient tensor is owned by the
+// layer until its next Backward call.
 func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(p.inShape) == 0 {
 		panic("cnn: MaxPool2D backward before forward")
 	}
-	gradIn := tensor.New(p.inShape...)
-	gi := gradIn.Data()
+	p.gradIn = tensor.Ensure(p.gradIn, p.inShape...)
+	p.gradIn.Zero()
+	gi := p.gradIn.Data()
 	for i, g := range gradOut.Data() {
 		gi[p.argmax[i]] += g
 	}
-	return gradIn
+	return p.gradIn
 }

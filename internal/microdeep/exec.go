@@ -13,6 +13,11 @@ import (
 // result is identical to the centralized cnn.Network forward pass — the
 // package's property tests enforce this — so distribution itself costs no
 // accuracy, only communication.
+//
+// An Executor reuses internal per-site value buffers across Forward calls
+// and is therefore not safe for concurrent use; give each goroutine its own
+// Executor. The tensor returned by Forward is freshly allocated and owned
+// by the caller.
 type Executor struct {
 	graph *Graph
 	// KernelFor, when non-nil, selects the convolution kernel used for a
@@ -26,6 +31,10 @@ type Executor struct {
 	Assign    *Assignment
 	DeadNodes map[int]bool
 	DeadSites map[int]bool
+	// values[sid] is a view into arena holding the site's output vector;
+	// both are scratch reused across Forward calls.
+	values [][]float64
+	arena  []float64
 }
 
 func (e *Executor) siteDead(sid int) bool {
@@ -41,6 +50,27 @@ func (e *Executor) siteDead(sid int) bool {
 // NewExecutor returns an executor for g with shared weights.
 func NewExecutor(g *Graph) *Executor { return &Executor{graph: g} }
 
+// ensureArena carves one flat backing buffer into per-site value slices so a
+// Forward pass performs no per-site allocation.
+func (e *Executor) ensureArena() {
+	if e.values != nil {
+		clear(e.arena)
+		return
+	}
+	g := e.graph
+	total := 0
+	for _, s := range g.Sites {
+		total += s.Width
+	}
+	e.arena = make([]float64, total)
+	e.values = make([][]float64, len(g.Sites))
+	off := 0
+	for i, s := range g.Sites {
+		e.values[i] = e.arena[off : off+s.Width]
+		off += s.Width
+	}
+}
+
 // Forward computes the network output for input (shape must match the input
 // stage) and returns the final stage's outputs as a flat tensor (for a
 // dense head: the logits).
@@ -51,16 +81,18 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(shape) != 3 || shape[0] != inSt.C || shape[1] != inSt.H || shape[2] != inSt.W {
 		return nil, fmt.Errorf("microdeep: input shape %v, want (%d,%d,%d)", shape, inSt.C, inSt.H, inSt.W)
 	}
-	values := make([][]float64, len(g.Sites))
+	e.ensureArena()
+	values := e.values
+	ind := input.Data()
 	for _, sid := range inSt.Sites {
 		s := g.Sites[sid]
-		v := make([]float64, inSt.C)
-		if !e.siteDead(sid) {
-			for c := 0; c < inSt.C; c++ {
-				v[c] = input.At(c, s.Y, s.X)
-			}
+		if e.siteDead(sid) {
+			continue // arena is pre-zeroed
 		}
-		values[sid] = v
+		v := values[sid]
+		for c := 0; c < inSt.C; c++ {
+			v[c] = ind[(c*inSt.H+s.Y)*inSt.W+s.X]
+		}
 	}
 	for si := 1; si < len(g.Stages); si++ {
 		st := g.Stages[si]
@@ -68,17 +100,16 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 		for _, sid := range st.Sites {
 			s := g.Sites[sid]
 			if e.siteDead(sid) {
-				values[sid] = make([]float64, s.Width)
-				continue
+				continue // arena is pre-zeroed
 			}
-			var out []float64
+			out := values[sid]
 			switch st.Kind {
 			case StageConv:
-				out = e.convSite(si, st, s, values)
+				e.convSite(si, st, s, values, out)
 			case StagePool:
-				out = poolSite(st, s, g, values)
+				poolSite(st, s, values, out)
 			case StageDense:
-				out = denseSite(st, prev, s, g, values)
+				denseSite(st, prev, s, g, values, out)
 			default:
 				return nil, fmt.Errorf("microdeep: cannot execute stage kind %v", st.Kind)
 			}
@@ -89,18 +120,21 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 					}
 				}
 			}
-			values[sid] = out
 		}
 	}
 	last := g.Stages[len(g.Stages)-1]
-	var flat []float64
+	n := 0
+	for _, sid := range last.Sites {
+		n += len(values[sid])
+	}
+	flat := make([]float64, 0, n)
 	for _, sid := range last.Sites {
 		flat = append(flat, values[sid]...)
 	}
 	return tensor.FromSlice(flat, len(flat)), nil
 }
 
-func (e *Executor) convSite(stage int, st Stage, s Site, values [][]float64) []float64 {
+func (e *Executor) convSite(stage int, st Stage, s Site, values [][]float64, out []float64) {
 	conv := st.Conv
 	kernel := conv.Weight()
 	if e.KernelFor != nil {
@@ -108,27 +142,27 @@ func (e *Executor) convSite(stage int, st Stage, s Site, values [][]float64) []f
 			kernel = k
 		}
 	}
-	out := make([]float64, st.C)
-	for oc := 0; oc < st.C; oc++ {
-		out[oc] = conv.Bias().At(oc)
-	}
+	kd := kernel.Data()
+	bd := conv.Bias().Data()
+	khkw := conv.KH * conv.KW
+	kcs := conv.InC * khkw
+	copy(out, bd[:st.C])
 	y0, _, x0, _ := conv.Receptive(s.Y, s.X)
 	for _, dep := range s.Deps {
 		d := e.graph.Sites[dep]
-		ky, kx := d.Y-y0, d.X-x0
+		kOff := (d.Y-y0)*conv.KW + (d.X - x0)
 		dv := values[dep]
 		for oc := 0; oc < st.C; oc++ {
 			for ic := 0; ic < conv.InC; ic++ {
-				out[oc] += kernel.At(oc, ic, ky, kx) * dv[ic]
+				out[oc] += kd[oc*kcs+ic*khkw+kOff] * dv[ic]
 			}
 		}
 	}
-	return out
 }
 
-func poolSite(st Stage, s Site, g *Graph, values [][]float64) []float64 {
-	out := make([]float64, st.C)
+func poolSite(st Stage, s Site, values [][]float64, out []float64) {
 	if st.AvgPool != nil {
+		clear(out)
 		for _, dep := range s.Deps {
 			dv := values[dep]
 			for c := 0; c < st.C; c++ {
@@ -139,7 +173,7 @@ func poolSite(st Stage, s Site, g *Graph, values [][]float64) []float64 {
 		for c := range out {
 			out[c] *= inv
 		}
-		return out
+		return
 	}
 	for c := range out {
 		out[c] = math.Inf(-1)
@@ -152,27 +186,27 @@ func poolSite(st Stage, s Site, g *Graph, values [][]float64) []float64 {
 			}
 		}
 	}
-	_ = g
-	return out
 }
 
-func denseSite(st Stage, prev Stage, s Site, g *Graph, values [][]float64) []float64 {
+func denseSite(st Stage, prev Stage, s Site, g *Graph, values [][]float64, out []float64) {
 	dense := st.Dense
 	o := s.X
-	sum := dense.Params()[1].At(o) // bias
 	w := dense.Weight()
+	wd := w.Data()
+	inW := w.Dim(1)
+	sum := dense.Params()[1].Data()[o] // bias
 	for _, dep := range s.Deps {
 		d := g.Sites[dep]
 		dv := values[dep]
 		if prev.Kind == StageDense {
-			sum += w.At(o, d.X) * dv[0]
+			sum += wd[o*inW+d.X] * dv[0]
 		} else {
 			// Flattened (C,H,W) layout: index = (c*H + y)*W + x.
 			for c := 0; c < prev.C; c++ {
 				idx := (c*prev.H+d.Y)*prev.W + d.X
-				sum += w.At(o, idx) * dv[c]
+				sum += wd[o*inW+idx] * dv[c]
 			}
 		}
 	}
-	return []float64{sum}
+	out[0] = sum
 }

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestStridesRowMajor(t *testing.T) {
+	tn := New(2, 3, 4)
+	want := []int{12, 4, 1}
+	for i, s := range tn.Strides() {
+		if s != want[i] {
+			t.Fatalf("strides = %v, want %v", tn.Strides(), want)
+		}
+	}
+	if tn.Stride(1) != 4 {
+		t.Fatalf("Stride(1) = %d", tn.Stride(1))
+	}
+	r := tn.Reshape(6, 4)
+	if r.Stride(0) != 4 || r.Stride(1) != 1 {
+		t.Fatalf("reshaped strides = %v", r.Strides())
+	}
+}
+
+func TestFlatAccessorsMatchAt(t *testing.T) {
+	tn := New(2, 3, 4)
+	for i := range tn.Data() {
+		tn.Data()[i] = float64(i)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				if tn.At3(i, j, k) != tn.At(i, j, k) {
+					t.Fatalf("At3(%d,%d,%d) = %v, At = %v", i, j, k, tn.At3(i, j, k), tn.At(i, j, k))
+				}
+				if tn.Off3(i, j, k) != (i*3+j)*4+k {
+					t.Fatalf("Off3(%d,%d,%d) = %d", i, j, k, tn.Off3(i, j, k))
+				}
+			}
+		}
+	}
+	tn.Set3(99, 1, 2, 3)
+	if tn.At(1, 2, 3) != 99 {
+		t.Fatal("Set3 did not write through")
+	}
+
+	m := New(3, 5)
+	m.Set2(7, 2, 4)
+	if m.At(2, 4) != 7 || m.At2(2, 4) != 7 || m.Off2(2, 4) != 14 {
+		t.Fatal("2-d flat accessors broken")
+	}
+
+	q := New(2, 3, 4, 5)
+	q.Set4(-1, 1, 2, 3, 4)
+	if q.At(1, 2, 3, 4) != -1 || q.At4(1, 2, 3, 4) != -1 {
+		t.Fatal("4-d flat accessors broken")
+	}
+	if q.Off4(1, 2, 3, 4) != ((1*3+2)*4+3)*5+4 {
+		t.Fatalf("Off4 = %d", q.Off4(1, 2, 3, 4))
+	}
+}
+
+func TestEnsureReusesStorage(t *testing.T) {
+	a := New(4, 4)
+	a.Fill(3)
+	b := Ensure(a, 2, 8)
+	if b != a {
+		t.Fatal("Ensure did not reuse a same-volume tensor")
+	}
+	if b.Dim(0) != 2 || b.Dim(1) != 8 || b.Stride(0) != 8 {
+		t.Fatalf("Ensure shape/strides = %v/%v", b.Shape(), b.Strides())
+	}
+	if b.At2(0, 0) != 3 {
+		t.Fatal("Ensure clobbered contents")
+	}
+	// Smaller volume reuses the same backing array.
+	c := Ensure(b, 3)
+	if c != b || c.Size() != 3 {
+		t.Fatalf("Ensure shrink failed: %v", c.Shape())
+	}
+	// Larger volume must allocate.
+	d := Ensure(c, 100)
+	if d == c {
+		t.Fatal("Ensure reused too-small storage")
+	}
+	for _, v := range d.Data() {
+		if v != 0 {
+			t.Fatal("fresh Ensure tensor not zero-filled")
+		}
+	}
+	// Nil receiver allocates.
+	e := Ensure(nil, 2, 2)
+	if e == nil || e.Size() != 4 {
+		t.Fatal("Ensure(nil) failed")
+	}
+}
+
+func TestMatVecIntoMatchesMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float64{1, -1, 2}, 3)
+	want := MatVec(a, x)
+	buf := New(2)
+	got := MatVecInto(buf, a, x)
+	if got != buf {
+		t.Fatal("MatVecInto did not reuse dst")
+	}
+	if !Equal(want, got, 0) {
+		t.Fatalf("MatVecInto = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{0, 1, 1, 0}, 2, 2)
+	want := MatMul(a, b)
+	buf := New(2, 2)
+	buf.Fill(42) // must be cleared by MatMulInto
+	got := MatMulInto(buf, a, b)
+	if got != buf || !Equal(want, got, 0) {
+		t.Fatalf("MatMulInto = %v, want %v", got, want)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := New(3)
+	b.CopyFrom(a)
+	if !Equal(a, b, 0) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	b.Data()[0] = 9
+	if a.Data()[0] == 9 {
+		t.Fatal("CopyFrom aliased storage")
+	}
+}

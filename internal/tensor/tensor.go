@@ -1,10 +1,12 @@
 // Package tensor implements a small dense float64 tensor used as the
 // numeric substrate for the zeiot CNN stack.
 //
-// Tensors are row-major with explicit shapes; the package provides only the
-// operations the CNN and the sensing pipelines need (element access,
-// arithmetic, matrix multiply, argmax, simple reductions). It favours
-// clarity and determinism over BLAS-grade speed.
+// Tensors are row-major with explicit shapes and cached strides; the package
+// provides only the operations the CNN and the sensing pipelines need
+// (element access, arithmetic, matrix multiply, argmax, simple reductions).
+// It favours clarity and determinism over BLAS-grade speed, but the flat
+// accessors (Off/At2..At4, Data) and the *Into variants let hot loops index
+// storage directly without per-element variadic calls or allocation.
 package tensor
 
 import (
@@ -15,13 +17,26 @@ import (
 
 // Tensor is a dense row-major float64 array with an explicit shape.
 type Tensor struct {
-	shape []int
-	data  []float64
+	shape   []int
+	strides []int
+	data    []float64
 }
 
-// New returns a zero-filled tensor with the given shape. Dimensions must be
-// positive.
-func New(shape ...int) *Tensor {
+// shapeMeta builds the shape and stride slices in one backing array.
+func shapeMeta(shape []int) (s, st []int) {
+	meta := make([]int, 2*len(shape))
+	s = meta[:len(shape):len(shape)]
+	st = meta[len(shape):]
+	copy(s, shape)
+	stride := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		st[i] = stride
+		stride *= shape[i]
+	}
+	return s, st
+}
+
+func volume(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
@@ -29,24 +44,79 @@ func New(shape ...int) *Tensor {
 		}
 		n *= d
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
-	return &Tensor{shape: s, data: make([]float64, n)}
+	return n
+}
+
+// New returns a zero-filled tensor with the given shape. Dimensions must be
+// positive.
+func New(shape ...int) *Tensor {
+	n := volume(shape)
+	s, st := shapeMeta(shape)
+	return &Tensor{shape: s, strides: st, data: make([]float64, n)}
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); its length must equal the shape's volume.
 func FromSlice(data []float64, shape ...int) *Tensor {
-	t := &Tensor{shape: append([]int(nil), shape...), data: data}
+	s, st := shapeMeta(shape)
+	t := &Tensor{shape: s, strides: st, data: data}
 	if len(data) != t.Size() {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
 	}
 	return t
 }
 
+// Ensure returns a tensor of the given shape for use as a reusable scratch
+// buffer: when t is non-nil and its storage capacity suffices, t is reshaped
+// in place and returned (existing contents are preserved up to the new
+// length; callers needing zeros must Zero it). Otherwise a fresh zero-filled
+// tensor is allocated. Typical use: `buf = tensor.Ensure(buf, shape...)`.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	// Compute the volume without calling volume(): its panic path would
+	// make shape escape and force a heap allocation of the variadic temp
+	// on every call from the CNN hot loops.
+	n := 1
+	bad := false
+	for _, d := range shape {
+		if d <= 0 {
+			bad = true
+		}
+		n *= d
+	}
+	if bad || t == nil || cap(t.data) < n {
+		// Cold path: copy shape so the caller's variadic temp stays on the
+		// stack; New validates the dimensions.
+		return New(append([]int(nil), shape...)...)
+	}
+	if !shapeEq(t.shape, shape) {
+		t.shape, t.strides = shapeMeta(shape)
+	}
+	t.data = t.data[:n]
+	return t
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Shape returns the tensor's dimensions. The returned slice must not be
 // modified.
 func (t *Tensor) Shape() []int { return t.shape }
+
+// Strides returns the row-major stride of each dimension (cached at
+// construction). The returned slice must not be modified.
+func (t *Tensor) Strides() []int { return t.strides }
+
+// Stride returns the row-major stride of dimension i.
+func (t *Tensor) Stride(i int) int { return t.strides[i] }
 
 // Dims returns the number of dimensions.
 func (t *Tensor) Dims() int { return len(t.shape) }
@@ -86,6 +156,47 @@ func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
 // Set stores v at the given multi-index.
 func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
 
+// Off2 returns the flat offset of (i, j) in a 2-d tensor. Like the other
+// flat accessors it performs no per-dimension bounds checks — only the final
+// slice access is checked — so callers must pass in-range indices.
+func (t *Tensor) Off2(i, j int) int { return i*t.strides[0] + j }
+
+// Off3 returns the flat offset of (i, j, k) in a 3-d tensor.
+func (t *Tensor) Off3(i, j, k int) int { return i*t.strides[0] + j*t.strides[1] + k }
+
+// Off4 returns the flat offset of (i, j, k, l) in a 4-d tensor.
+func (t *Tensor) Off4(i, j, k, l int) int {
+	return i*t.strides[0] + j*t.strides[1] + k*t.strides[2] + l
+}
+
+// At2 returns the element at (i, j) of a 2-d tensor without per-dimension
+// bounds checks.
+func (t *Tensor) At2(i, j int) float64 { return t.data[i*t.strides[0]+j] }
+
+// Set2 stores v at (i, j) of a 2-d tensor without per-dimension bounds
+// checks.
+func (t *Tensor) Set2(v float64, i, j int) { t.data[i*t.strides[0]+j] = v }
+
+// At3 returns the element at (i, j, k) of a 3-d tensor without per-dimension
+// bounds checks.
+func (t *Tensor) At3(i, j, k int) float64 { return t.data[i*t.strides[0]+j*t.strides[1]+k] }
+
+// Set3 stores v at (i, j, k) of a 3-d tensor without per-dimension bounds
+// checks.
+func (t *Tensor) Set3(v float64, i, j, k int) { t.data[i*t.strides[0]+j*t.strides[1]+k] = v }
+
+// At4 returns the element at (i, j, k, l) of a 4-d tensor without
+// per-dimension bounds checks.
+func (t *Tensor) At4(i, j, k, l int) float64 {
+	return t.data[i*t.strides[0]+j*t.strides[1]+k*t.strides[2]+l]
+}
+
+// Set4 stores v at (i, j, k, l) of a 4-d tensor without per-dimension bounds
+// checks.
+func (t *Tensor) Set4(v float64, i, j, k, l int) {
+	t.data[i*t.strides[0]+j*t.strides[1]+k*t.strides[2]+l] = v
+}
+
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.shape...)
@@ -93,9 +204,16 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
+// CopyFrom copies other's elements into t. Shapes must match exactly.
+func (t *Tensor) CopyFrom(other *Tensor) {
+	t.mustSameShape(other)
+	copy(t.data, other.data)
+}
+
 // Reshape returns a view of the same data with a new shape of equal volume.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
-	r := &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	s, st := shapeMeta(shape)
+	r := &Tensor{shape: s, strides: st, data: t.data}
 	if r.Size() != t.Size() {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
 	}
@@ -110,7 +228,9 @@ func (t *Tensor) Fill(v float64) {
 }
 
 // Zero sets every element to 0.
-func (t *Tensor) Zero() { t.Fill(0) }
+func (t *Tensor) Zero() {
+	clear(t.data)
+}
 
 // AddInPlace adds other element-wise into t. Shapes must match exactly.
 func (t *Tensor) AddInPlace(other *Tensor) {
@@ -150,20 +270,16 @@ func (t *Tensor) mustSameShape(other *Tensor) {
 }
 
 // SameShape reports whether two tensors have identical shapes.
-func SameShape(a, b *Tensor) bool {
-	if len(a.shape) != len(b.shape) {
-		return false
-	}
-	for i := range a.shape {
-		if a.shape[i] != b.shape[i] {
-			return false
-		}
-	}
-	return true
-}
+func SameShape(a, b *Tensor) bool { return shapeEq(a.shape, b.shape) }
 
 // MatMul returns a×b for 2-D tensors of shapes (m,k) and (k,n).
 func MatMul(a, b *Tensor) *Tensor {
+	return MatMulInto(nil, a, b)
+}
+
+// MatMulInto computes a×b into dst, reusing dst's storage when possible
+// (pass nil to allocate). It returns the result tensor.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMul requires 2-d tensors")
 	}
@@ -172,7 +288,8 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
+	out := Ensure(dst, m, n)
+	out.Zero()
 	for i := 0; i < m; i++ {
 		arow := a.data[i*k : (i+1)*k]
 		orow := out.data[i*n : (i+1)*n]
@@ -192,6 +309,12 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // MatVec returns a×x for a 2-D tensor (m,k) and 1-D tensor (k,).
 func MatVec(a, x *Tensor) *Tensor {
+	return MatVecInto(nil, a, x)
+}
+
+// MatVecInto computes a×x into dst, reusing dst's storage when possible
+// (pass nil to allocate). It returns the result tensor.
+func MatVecInto(dst, a, x *Tensor) *Tensor {
 	if a.Dims() != 2 || x.Dims() != 1 {
 		panic("tensor: MatVec requires (2-d, 1-d) tensors")
 	}
@@ -199,12 +322,13 @@ func MatVec(a, x *Tensor) *Tensor {
 	if x.shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatVec dims (m=%d,k=%d) × %d", m, k, x.shape[0]))
 	}
-	out := New(m)
+	out := Ensure(dst, m)
+	xd := x.data
 	for i := 0; i < m; i++ {
 		sum := 0.0
 		row := a.data[i*k : (i+1)*k]
 		for p := 0; p < k; p++ {
-			sum += row[p] * x.data[p]
+			sum += row[p] * xd[p]
 		}
 		out.data[i] = sum
 	}
