@@ -150,6 +150,68 @@ func BenchmarkChargeForward(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroDeepTrainStep times one local-update training step through
+// the replica-aware path (per-position kernel tables, first-layer gradient
+// skip, replica SGD + gossip bookkeeping).
+func BenchmarkMicroDeepTrainStep(b *testing.B) {
+	net, in := benchNet(6)
+	w := wsn.NewGrid(5, 10, 1)
+	m, err := microdeep.Build(net, w, microdeep.StrategyBalanced)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.EnableLocalUpdate()
+	opt := cnn.NewSGD(0.01, 0.9)
+	samples := []cnn.Sample{{Input: in, Label: 1}}
+	perm := []int{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainEpoch(samples, perm, 1, opt)
+	}
+}
+
+// BenchmarkPlan times Plan with a warm cache: a key computation (assignment
+// hash), one map hit, and the defensive copy of the transfer list.
+func BenchmarkPlan(b *testing.B) {
+	net, _ := benchNet(7)
+	g, err := microdeep.BuildGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := wsn.NewGrid(5, 10, 1)
+	a, err := microdeep.AssignBalanced(g, w, microdeep.DefaultBalanceOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microdeep.Plan(g, a, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostPerSample times the full per-sample cost accounting the
+// experiments loop over: forward + backward charge replaying the cached
+// plan, plus the report snapshot.
+func BenchmarkCostPerSample(b *testing.B) {
+	net, _ := benchNet(8)
+	w := wsn.NewGrid(5, 10, 1)
+	m, err := microdeep.Build(net, w, microdeep.StrategyBalanced)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CostPerSample(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMACSimSecond(b *testing.B) {
 	cfg := mac.DefaultConfig()
 	cfg.Seed = 1

@@ -6,6 +6,7 @@
 //	zeiotbench -e e1,e6        # run selected experiments
 //	zeiotbench -seed 7         # change the root seed
 //	zeiotbench -parallel 4     # run up to 4 experiments concurrently
+//	zeiotbench -trainworkers 4 # CNN training workers (results unchanged)
 //	zeiotbench -list           # list experiments
 package main
 
@@ -33,8 +34,10 @@ func run() int {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		parallel = flag.Int("parallel", 1, "max experiments run concurrently (0 = NumCPU)")
+		trainW   = flag.Int("trainworkers", 0, "CNN training workers per experiment (0 = NumCPU); any value yields bit-identical results")
 	)
 	flag.Parse()
+	zeiot.SetTrainWorkers(*trainW)
 
 	if *list {
 		for _, e := range zeiot.Experiments() {

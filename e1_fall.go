@@ -47,7 +47,7 @@ func RunE1FallCommCost(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mOpt.Fit(train, 8, 16, cnn.NewSGD(0.02, 0.9), sOpt.Split("fit"))
+	mOpt.FitParallel(train, 8, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sOpt.Split("fit"))
 	accOpt := mOpt.Evaluate(test)
 	// The Fig. 10 cost counts the per-sample forward+backward traffic;
 	// weight-synchronization traffic is per training step and reported
@@ -78,7 +78,7 @@ func RunE1FallCommCost(seed uint64) (*Result, error) {
 		return nil, err
 	}
 	mFea.EnableLocalUpdate()
-	mFea.Fit(train, 12, 16, cnn.NewSGD(0.02, 0.9), sFea.Split("fit"))
+	mFea.FitParallel(train, 12, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sFea.Split("fit"))
 	accFea := mFea.Evaluate(test)
 	costFea, err := mFea.CostPerSample(false)
 	if err != nil {

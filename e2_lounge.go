@@ -58,7 +58,7 @@ func RunE2Lounge(seed uint64) (*Result, error) {
 	for r := 0; r < repeats; r++ {
 		sStd := root.Split(fmt.Sprintf("std-%d", r))
 		standard := loungeNet(sStd)
-		standard.Fit(train, 8, 16, cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
+		standard.FitParallel(train, 8, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
 		accStd += standard.Evaluate(test)
 	}
 	accStd /= repeats
@@ -77,7 +77,7 @@ func RunE2Lounge(seed uint64) (*Result, error) {
 			return nil, err
 		}
 		md.EnableLocalUpdate()
-		md.Fit(train, 12, 16, cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
+		md.FitParallel(train, 12, 16, TrainWorkers(), cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
 		accMD += md.Evaluate(test)
 	}
 	accMD /= repeats

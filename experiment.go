@@ -3,9 +3,34 @@ package zeiot
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 )
+
+// trainWorkers is the worker count the CNN experiments hand to
+// FitParallel; 0 selects runtime.NumCPU(). Parallel training is
+// bit-identical to the sequential path at every worker count (see
+// internal/cnn), so the setting moves wall time only, never results.
+var trainWorkers int
+
+// TrainWorkers returns the effective worker count for experiment training
+// loops.
+func TrainWorkers() int {
+	if trainWorkers > 0 {
+		return trainWorkers
+	}
+	return runtime.NumCPU()
+}
+
+// SetTrainWorkers overrides the training worker count; n <= 0 restores the
+// NumCPU default.
+func SetTrainWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	trainWorkers = n
+}
 
 // Result is the regenerated form of one paper table or figure.
 type Result struct {

@@ -93,17 +93,23 @@ func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
 	for o := 0; o < d.Out; o++ {
 		sum := 0.0
 		row := wd[o*d.In : (o+1)*d.In]
+		x := xd[:len(row)]
 		for p, w := range row {
-			sum += w * xd[p]
+			sum += w * x[p]
 		}
 		od[o] = sum + bd[o]
 	}
 	return d.out
 }
 
-// Backward implements Layer. The returned gradient tensor is owned by the
-// layer until its next Backward call.
-func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+// BackwardNoInputGrad implements inputGradSkipper: parameter gradients only,
+// for use when d is the stack's first layer.
+func (d *Dense) BackwardNoInputGrad(gradOut *tensor.Tensor) {
+	d.backwardParams(gradOut)
+}
+
+// backwardParams accumulates the weight and bias gradients for gradOut.
+func (d *Dense) backwardParams(gradOut *tensor.Tensor) {
 	if d.lastIn == nil {
 		panic("cnn: Dense backward before forward")
 	}
@@ -117,10 +123,18 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			continue
 		}
 		row := gw[o*d.In : (o+1)*d.In]
-		for i := 0; i < d.In; i++ {
-			row[i] += g * in[i]
+		x := in[:len(row)]
+		for i := range row {
+			row[i] += g * x[i]
 		}
 	}
+}
+
+// Backward implements Layer. The returned gradient tensor is owned by the
+// layer until its next Backward call.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	d.backwardParams(gradOut)
+	go2 := gradOut.Data()
 	d.gradIn = tensor.Ensure(d.gradIn, d.In)
 	d.gradIn.Zero()
 	gi := d.gradIn.Data()

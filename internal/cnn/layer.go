@@ -25,6 +25,7 @@ package cnn
 
 import (
 	"fmt"
+	"math"
 
 	"zeiot/internal/tensor"
 )
@@ -79,7 +80,6 @@ type shadowLayer interface {
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	mask        []bool
 	out, gradIn *tensor.Tensor
 }
 
@@ -97,41 +97,38 @@ func (r *ReLU) shadow() Layer { return &ReLU{} }
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 
-// Forward implements Layer.
+// Forward implements Layer. The pass mask Backward needs is recovered from
+// the cached output (out[i] > 0 exactly when in[i] > 0), so no separate mask
+// array is maintained. The select is computed with bit masks: the sign test
+// on activation-sized arrays is data-dependent, and the mispredicted branch
+// was costing more than the arithmetic it guarded.
 func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
 	r.out = tensor.Ensure(r.out, in.Shape()...)
 	data := r.out.Data()
-	ind := in.Data()
-	if cap(r.mask) < len(ind) {
-		r.mask = make([]bool, len(ind))
-	}
-	r.mask = r.mask[:len(ind)]
-	for i, v := range ind {
-		if v > 0 {
-			r.mask[i] = true
-			data[i] = v
-		} else {
-			r.mask[i] = false
-			data[i] = 0
-		}
+	for i, v := range in.Data() {
+		t := math.Float64bits(v)
+		// keep = 1 iff v > 0: nonzero (t|-t has the top bit set) and the
+		// sign bit clear. t&-keep is then v's bits or +0.
+		keep := ((t | -t) >> 63) &^ (t >> 63)
+		data[i] = math.Float64frombits(t & -keep)
 	}
 	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if len(r.mask) != gradOut.Size() {
-		panic(fmt.Sprintf("cnn: ReLU backward before forward (mask %d, grad %d)", len(r.mask), gradOut.Size()))
+	if r.out == nil || r.out.Size() != gradOut.Size() {
+		panic(fmt.Sprintf("cnn: ReLU backward before forward (grad %d)", gradOut.Size()))
 	}
 	r.gradIn = tensor.Ensure(r.gradIn, gradOut.Shape()...)
 	data := r.gradIn.Data()
-	god := gradOut.Data()
-	for i, g := range god {
-		if r.mask[i] {
-			data[i] = g
-		} else {
-			data[i] = 0
-		}
+	outd := r.out.Data()
+	for i, g := range gradOut.Data() {
+		// out is v or +0, so "did the unit fire" is just out != 0; the same
+		// branchless select passes g through or writes +0.
+		t := math.Float64bits(outd[i])
+		mask := -((t | -t) >> 63)
+		data[i] = math.Float64frombits(math.Float64bits(g) & mask)
 	}
 	return r.gradIn
 }

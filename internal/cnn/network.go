@@ -61,13 +61,29 @@ func (n *Network) Forward(in *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
+// inputGradSkipper is implemented by layers that can run a cheaper backward
+// pass when their input gradient is not needed. The stack's first layer
+// qualifies: nothing consumes dLoss/dInput of the network input.
+type inputGradSkipper interface {
+	BackwardNoInputGrad(gradOut *tensor.Tensor)
+}
+
 // Backward propagates dLoss/dLogits through all layers, accumulating
-// parameter gradients.
+// parameter gradients. The first layer's input gradient is never consumed,
+// so layers that support it skip that half of their backward work.
 func (n *Network) Backward(gradLogits *tensor.Tensor) {
 	g := gradLogits
-	for i := len(n.layers) - 1; i >= 0; i-- {
+	for i := len(n.layers) - 1; i >= 1; i-- {
 		g = n.layers[i].Backward(g)
 	}
+	if len(n.layers) == 0 {
+		return
+	}
+	if s, ok := n.layers[0].(inputGradSkipper); ok {
+		s.BackwardNoInputGrad(g)
+		return
+	}
+	n.layers[0].Backward(g)
 }
 
 // ZeroGrads clears gradients in every parameterized layer.
@@ -186,23 +202,29 @@ func (s *SGD) Step(params, grads []*tensor.Tensor, batch int) {
 	if len(params) != len(grads) {
 		panic("cnn: params/grads length mismatch")
 	}
+	for i, p := range params {
+		s.StepOne(p, grads[i], batch)
+	}
+}
+
+// StepOne applies Step's update rule to a single parameter tensor. Callers
+// updating many small tensors (MicroDeep's per-position kernel replicas)
+// use it to avoid building slice pairs per tensor.
+func (s *SGD) StepOne(p, g *tensor.Tensor, batch int) {
 	if batch <= 0 {
 		batch = 1
 	}
 	inv := 1.0 / float64(batch)
-	for i, p := range params {
-		g := grads[i]
-		v, ok := s.velocity[p]
-		if !ok {
-			v = tensor.New(p.Shape()...)
-			s.velocity[p] = v
-		}
-		pd, gd, vd := p.Data(), g.Data(), v.Data()
-		for j := range pd {
-			step := gd[j]*inv + s.Decay*pd[j]
-			vd[j] = s.Momentum*vd[j] - s.LR*step
-			pd[j] += vd[j]
-		}
+	v, ok := s.velocity[p]
+	if !ok {
+		v = tensor.New(p.Shape()...)
+		s.velocity[p] = v
+	}
+	pd, gd, vd := p.Data(), g.Data(), v.Data()
+	for j := range pd {
+		step := gd[j]*inv + s.Decay*pd[j]
+		vd[j] = s.Momentum*vd[j] - s.LR*step
+		pd[j] += vd[j]
 	}
 }
 
@@ -249,14 +271,26 @@ func (n *Network) TrainEpoch(samples []Sample, perm []int, batch int, opt *SGD) 
 	return total / float64(count)
 }
 
-// TrainEpochParallel is TrainEpoch with each mini-batch's forward passes
-// sharded across worker goroutines (workers <= 0 selects runtime.NumCPU()).
-// Every in-flight sample runs on its own shadow layer stack sharing the
-// canonical parameter tensors, and the backward passes then reduce their
-// gradients sequentially in sample order — the same elementary accumulation
-// order as TrainEpoch — so the result is bit-identical to the sequential
-// path at every worker count.
-func (n *Network) TrainEpochParallel(samples []Sample, perm []int, batch, workers int, opt *SGD) float64 {
+// ResetParallelState drops the cached shadow networks used by the parallel
+// training paths. Call it after structurally changing the layer stack's
+// hooks (e.g. installing conv replica hooks): stale shadows would otherwise
+// keep the old configuration.
+func (n *Network) ResetParallelState() { n.slots = nil }
+
+// TrainEpochParallelFunc is the engine behind TrainEpochParallel and
+// microdeep's parallel local-update training. Each mini-batch's forward
+// passes are sharded across worker goroutines (workers <= 0 selects
+// runtime.NumCPU()) over cached shadow layer stacks sharing the canonical
+// parameter tensors; the backward passes then reduce their gradients
+// sequentially in sample order — the same elementary accumulation order as
+// TrainEpoch — so the result is bit-identical to the sequential path at any
+// worker count. step runs at every batch boundary with the batch's sample
+// count; the caller applies its optimizer there and zeroes its gradient
+// state (none of it is zeroed here, including up front — callers zero their
+// own state before the first sample). Returns ok=false, having done
+// nothing, when the stack cannot shadow or the effective worker count is 1;
+// the caller should then run its serial path.
+func (n *Network) TrainEpochParallelFunc(samples []Sample, perm []int, batch, workers int, step func(bsz int)) (loss float64, ok bool) {
 	if batch <= 0 {
 		panic("cnn: non-positive batch size")
 	}
@@ -267,21 +301,19 @@ func (n *Network) TrainEpochParallel(samples []Sample, perm []int, batch, worker
 		workers = batch
 	}
 	if workers == 1 {
-		return n.TrainEpoch(samples, perm, batch, opt)
+		return 0, false
 	}
 	for len(n.slots) < batch {
 		sn := n.shadowNet()
 		if sn == nil {
-			// A layer without shadow support: fall back to the (identical)
-			// sequential path.
-			return n.TrainEpoch(samples, perm, batch, opt)
+			// A layer without shadow support.
+			return 0, false
 		}
 		n.slots = append(n.slots, sn)
 	}
 	logits := make([]*tensor.Tensor, batch)
 	total := 0.0
 	count := 0
-	n.ZeroGrads()
 	for start := 0; start < len(perm); start += batch {
 		end := start + batch
 		if end > len(perm) {
@@ -307,18 +339,36 @@ func (n *Network) TrainEpochParallel(samples []Sample, perm []int, batch, worker
 		// the shared gradient tensors exactly as TrainEpoch would.
 		for j := 0; j < bsz; j++ {
 			s := samples[perm[start+j]]
-			loss, grad := CrossEntropy(logits[j], s.Label)
-			total += loss
+			sampleLoss, grad := CrossEntropy(logits[j], s.Label)
+			total += sampleLoss
 			count++
 			n.slots[j].Backward(grad)
 		}
-		opt.StepNetwork(n, bsz)
-		n.ZeroGrads()
+		step(bsz)
 	}
 	if count == 0 {
-		return 0
+		return 0, true
 	}
-	return total / float64(count)
+	return total / float64(count), true
+}
+
+// TrainEpochParallel is TrainEpoch with each mini-batch's forward passes
+// sharded across worker goroutines (workers <= 0 selects runtime.NumCPU()).
+// Every in-flight sample runs on its own shadow layer stack sharing the
+// canonical parameter tensors, and the backward passes then reduce their
+// gradients sequentially in sample order — the same elementary accumulation
+// order as TrainEpoch — so the result is bit-identical to the sequential
+// path at every worker count.
+func (n *Network) TrainEpochParallel(samples []Sample, perm []int, batch, workers int, opt *SGD) float64 {
+	n.ZeroGrads()
+	loss, ok := n.TrainEpochParallelFunc(samples, perm, batch, workers, func(bsz int) {
+		opt.StepNetwork(n, bsz)
+		n.ZeroGrads()
+	})
+	if !ok {
+		return n.TrainEpoch(samples, perm, batch, opt)
+	}
+	return loss
 }
 
 // Evaluate returns classification accuracy over samples.

@@ -10,7 +10,7 @@ import (
 type MaxPool2D struct {
 	Size, Stride int
 	inShape      []int
-	argmax       []int // flat input index of each output's max
+	lastIn       *tensor.Tensor
 	out, gradIn  *tensor.Tensor
 }
 
@@ -61,12 +61,16 @@ func (p *MaxPool2D) Receptive(oy, ox int) (y0, y1, x0, x1 int) {
 }
 
 // Forward implements Layer. The returned tensor is owned by the layer until
-// its next Forward call.
+// its next Forward call; the input must stay unmodified until Backward runs
+// (Backward re-derives each window's argmax from the cached input instead of
+// maintaining an index array on the forward hot path, where the
+// data-dependent compare-and-track branch dominated the cost).
 func (p *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Dims() != 3 {
 		panic(fmt.Sprintf("cnn: pool input shape %v, want 3-d", in.Shape()))
 	}
 	p.inShape = append(p.inShape[:0], in.Shape()...)
+	p.lastIn = in
 	ch, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
 	// Inline OutShape: building the shape slice would allocate per call.
 	oh := (h-p.Size)/p.Stride + 1
@@ -77,10 +81,52 @@ func (p *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 	p.out = tensor.Ensure(p.out, ch, oh, ow)
 	ind := in.Data()
 	outd := p.out.Data()
-	if cap(p.argmax) < len(outd) {
-		p.argmax = make([]int, len(outd))
+	// Windows never clip: the output extent guarantees iy0+Size <= h and
+	// ix0+Size <= w, so the common 2×2 and 3×3 sizes unroll without bounds
+	// logic. The max chain folds left exactly like the general loop.
+	switch {
+	case p.Size == 2:
+		idx := 0
+		for c := 0; c < ch; c++ {
+			cBase := c * h * w
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					o := row + ox*p.Stride
+					best := ind[o]
+					best = max(best, ind[o+1])
+					best = max(best, ind[o+w])
+					best = max(best, ind[o+w+1])
+					outd[idx] = best
+					idx++
+				}
+			}
+		}
+		return p.out
+	case p.Size == 3:
+		idx := 0
+		for c := 0; c < ch; c++ {
+			cBase := c * h * w
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					o := row + ox*p.Stride
+					best := ind[o]
+					best = max(best, ind[o+1])
+					best = max(best, ind[o+2])
+					best = max(best, ind[o+w])
+					best = max(best, ind[o+w+1])
+					best = max(best, ind[o+w+2])
+					best = max(best, ind[o+2*w])
+					best = max(best, ind[o+2*w+1])
+					best = max(best, ind[o+2*w+2])
+					outd[idx] = best
+					idx++
+				}
+			}
+		}
+		return p.out
 	}
-	p.argmax = p.argmax[:len(outd)]
 	idx := 0
 	for c := 0; c < ch; c++ {
 		cBase := c * h * w
@@ -96,20 +142,14 @@ func (p *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 				if ix0+kx1 > w {
 					kx1 = w - ix0
 				}
-				bestFlat := cBase + iy0*w + ix0
-				best := ind[bestFlat]
+				best := ind[cBase+iy0*w+ix0]
 				for ky := 0; ky < ky1; ky++ {
 					row := cBase + (iy0+ky)*w + ix0
-					for kx := 0; kx < kx1; kx++ {
-						v := ind[row+kx]
-						if v > best {
-							best = v
-							bestFlat = row + kx
-						}
+					for _, v := range ind[row : row+kx1] {
+						best = max(best, v)
 					}
 				}
 				outd[idx] = best
-				p.argmax[idx] = bestFlat
 				idx++
 			}
 		}
@@ -118,16 +158,132 @@ func (p *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements Layer. The returned gradient tensor is owned by the
-// layer until its next Backward call.
+// layer until its next Backward call. The routed input index is the first
+// window element equal to the stored maximum — the same element the
+// strict-greater tracking of a fused argmax would keep.
 func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if len(p.inShape) == 0 {
+	if len(p.inShape) == 0 || p.lastIn == nil {
 		panic("cnn: MaxPool2D backward before forward")
 	}
 	p.gradIn = tensor.Ensure(p.gradIn, p.inShape...)
 	p.gradIn.Zero()
 	gi := p.gradIn.Data()
-	for i, g := range gradOut.Data() {
-		gi[p.argmax[i]] += g
+	ind := p.lastIn.Data()
+	outd := p.out.Data()
+	god := gradOut.Data()
+	ch, h, w := p.inShape[0], p.inShape[1], p.inShape[2]
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	// Mirror Forward's unclipped 2×2/3×3 fast paths: scan the window in the
+	// same order for the first element equal to the stored maximum.
+	switch {
+	case p.Size == 2:
+		idx := 0
+		for c := 0; c < ch; c++ {
+			cBase := c * h * w
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					if g == 0 {
+						idx++
+						continue
+					}
+					o := row + ox*p.Stride
+					best := outd[idx]
+					t := o
+					switch {
+					case ind[o] == best:
+					case ind[o+1] == best:
+						t = o + 1
+					case ind[o+w] == best:
+						t = o + w
+					case ind[o+w+1] == best:
+						t = o + w + 1
+					}
+					gi[t] += g
+					idx++
+				}
+			}
+		}
+		return p.gradIn
+	case p.Size == 3:
+		idx := 0
+		for c := 0; c < ch; c++ {
+			cBase := c * h * w
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					if g == 0 {
+						idx++
+						continue
+					}
+					o := row + ox*p.Stride
+					best := outd[idx]
+					t := o
+					switch {
+					case ind[o] == best:
+					case ind[o+1] == best:
+						t = o + 1
+					case ind[o+2] == best:
+						t = o + 2
+					case ind[o+w] == best:
+						t = o + w
+					case ind[o+w+1] == best:
+						t = o + w + 1
+					case ind[o+w+2] == best:
+						t = o + w + 2
+					case ind[o+2*w] == best:
+						t = o + 2*w
+					case ind[o+2*w+1] == best:
+						t = o + 2*w + 1
+					case ind[o+2*w+2] == best:
+						t = o + 2*w + 2
+					}
+					gi[t] += g
+					idx++
+				}
+			}
+		}
+		return p.gradIn
+	}
+	idx := 0
+	for c := 0; c < ch; c++ {
+		cBase := c * h * w
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy * p.Stride
+			ky1 := p.Size
+			if iy0+ky1 > h {
+				ky1 = h - iy0
+			}
+			for ox := 0; ox < ow; ox++ {
+				g := god[idx]
+				if g == 0 {
+					idx++
+					continue
+				}
+				ix0 := ox * p.Stride
+				kx1 := p.Size
+				if ix0+kx1 > w {
+					kx1 = w - ix0
+				}
+				best := outd[idx]
+				bestFlat := cBase + iy0*w + ix0
+			find:
+				for ky := 0; ky < ky1; ky++ {
+					row := cBase + (iy0+ky)*w + ix0
+					for kx := 0; kx < kx1; kx++ {
+						if ind[row+kx] == best {
+							bestFlat = row + kx
+							break find
+						}
+					}
+				}
+				gi[bestFlat] += g
+				idx++
+			}
+		}
 	}
 	return p.gradIn
 }

@@ -129,24 +129,50 @@ func AssignBalanced(g *Graph, w *wsn.Network, opts BalanceOptions) (Assignment, 
 			consumers[dep] = append(consumers[dep], s.ID)
 		}
 	}
-	// commAt scores hosting site s on node n (math.Inf if unreachable).
-	commAt := func(s Site, n int) float64 {
-		comm := 0.0
+	// commAt scores hosting site s on node n (math.Inf if unreachable). It
+	// indexes the network's hop table directly and sums integer scalar-hops
+	// — hop counts and widths are small, so the products stay far below
+	// 2^53 and the integer total converts to exactly the float64 the
+	// original incremental float summation produced.
+	hops := w.HopsTable()
+	// Scratch for the per-site (node, weight) aggregation: deps and
+	// consumers grouped by their current host so commAt does one table
+	// lookup per distinct node instead of one per edge.
+	var aggNode, aggWeight []int
+	aggregate := func(s Site) {
+		aggNode = aggNode[:0]
+		aggWeight = aggWeight[:0]
+		add := func(n, weight int) {
+			for i, an := range aggNode {
+				if an == n {
+					aggWeight[i] += weight
+					return
+				}
+			}
+			aggNode = append(aggNode, n)
+			aggWeight = append(aggWeight, weight)
+		}
 		for _, dep := range s.Deps {
-			h := w.Hops(nodeOf[dep], n)
-			if h < 0 {
-				return math.Inf(1)
-			}
-			comm += float64(h * g.Sites[dep].Width)
+			add(nodeOf[dep], g.Sites[dep].Width)
 		}
+		// Consumer hops are symmetric on the undirected WSN graph
+		// (hops[n][m] == hops[m][n]), so consumers aggregate into the
+		// same per-node buckets.
 		for _, c := range consumers[s.ID] {
-			h := w.Hops(n, nodeOf[c])
+			add(nodeOf[c], s.Width)
+		}
+	}
+	commAt := func(n int) float64 {
+		comm := 0
+		hrow := hops[n]
+		for i, an := range aggNode {
+			h := hrow[an]
 			if h < 0 {
 				return math.Inf(1)
 			}
-			comm += float64(h * s.Width)
+			comm += h * aggWeight[i]
 		}
-		return comm
+		return float64(comm)
 	}
 	for {
 		// Most-loaded node above the cap.
@@ -166,12 +192,13 @@ func AssignBalanced(g *Graph, w *wsn.Network, opts BalanceOptions) (Assignment, 
 			if s.Stage == 0 || nodeOf[s.ID] != over {
 				continue
 			}
-			from := commAt(s, over)
+			aggregate(s)
+			from := commAt(over)
 			for _, n := range live {
 				if n == over || load[n]+s.Width > capU {
 					continue
 				}
-				to := commAt(s, n)
+				to := commAt(n)
 				if math.IsInf(to, 1) {
 					continue
 				}

@@ -52,12 +52,30 @@ type Transfer struct {
 // (one partial-aggregate vector per routing-tree edge); see ChargeForward
 // for why both plans are available. The order is deterministic: stages in
 // graph order, transfers in site/dependency order.
+//
+// Plans are memoized per (graph, assignment, topology epoch) — see
+// plancache.go — so repeated calls with unchanged inputs replay the cached
+// list. The returned slice is a fresh copy the caller owns.
 func Plan(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
+	plan, err := planFor(g, a, w)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Transfer(nil), plan...), nil
+}
+
+// computePlan builds the transfer plan from scratch. rawSeen and edgeSeen
+// are caller-provided scratch bitsets (reused across calls to avoid the
+// per-stage map churn the dedup otherwise costs).
+func computePlan(g *Graph, a Assignment, w *wsn.Network, rawSeen, edgeSeen *bitset) ([]Transfer, error) {
+	numNodes := w.NumNodes()
+	rawSeen.ensure(len(g.Sites) * numNodes)
+	edgeSeen.ensure(numNodes * numNodes)
 	var plan []Transfer
 	for si := 1; si < len(g.Stages); si++ {
 		st := g.Stages[si]
 		// Plan A: raw shipping, deduplicated per (dep, consumer node).
-		rawSeen := make(map[[2]int]bool)
+		rawSeen.reset()
 		var rawPlan []Transfer
 		rawCost := 0
 		for _, sid := range st.Sites {
@@ -67,11 +85,9 @@ func Plan(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
 				if dn == tn {
 					continue
 				}
-				key := [2]int{dep, tn}
-				if rawSeen[key] {
+				if rawSeen.testSet(dep*numNodes + tn) {
 					continue
 				}
-				rawSeen[key] = true
 				route, err := w.Route(dn, tn)
 				if err != nil {
 					return nil, fmt.Errorf("microdeep: planning site %d: %w", dep, err)
@@ -90,7 +106,7 @@ func Plan(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
 		aggCost := 0
 		for _, sid := range st.Sites {
 			tn := a.NodeOf[sid]
-			seen := make(map[[2]int]bool)
+			edgeSeen.reset()
 			var edges []Transfer
 			for _, dep := range g.Sites[sid].Deps {
 				dn := a.NodeOf[dep]
@@ -102,11 +118,9 @@ func Plan(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
 					return nil, fmt.Errorf("microdeep: planning site %d: %w", sid, err)
 				}
 				for k := 0; k+1 < len(route); k++ {
-					key := [2]int{route[k], route[k+1]}
-					if seen[key] {
+					if edgeSeen.testSet(route[k]*numNodes + route[k+1]) {
 						continue
 					}
-					seen[key] = true
 					edges = append(edges, Transfer{From: route[k], To: route[k+1], Scalars: g.Sites[sid].Width, Stage: si})
 				}
 			}
@@ -123,7 +137,7 @@ func Plan(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
 }
 
 func charge(g *Graph, a Assignment, w *wsn.Network, reverse bool) (int, error) {
-	plan, err := Plan(g, a, w)
+	plan, err := planFor(g, a, w)
 	if err != nil {
 		return 0, err
 	}

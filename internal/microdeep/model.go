@@ -2,6 +2,7 @@ package microdeep
 
 import (
 	"fmt"
+	"math"
 
 	"zeiot/internal/cnn"
 	"zeiot/internal/rng"
@@ -34,6 +35,12 @@ type Model struct {
 	// installed.
 	localUpdate bool
 	replicas    []*convReplica
+	// repByStage indexes replicas by stage id for O(1) lookup on the
+	// distributed-executor path.
+	repByStage []*convReplica
+	// exec is the cached distributed executor used by ForwardDistributed;
+	// it is invalidated when EnableLocalUpdate changes the kernel hooks.
+	exec *Executor
 	// gossipEvery > 0 averages each conv unit's kernel with its four
 	// spatial neighbours every that-many optimizer steps — one-hop-only
 	// traffic that pulls the locally connected kernels back toward a
@@ -50,6 +57,10 @@ type convReplica struct {
 	w       int
 	kernels []*tensor.Tensor
 	grads   []*tensor.Tensor
+	// gossipBuf and divBuf are scratch reused across gossip rounds and
+	// divergence measurements (both used to clone per position per call).
+	gossipBuf []*tensor.Tensor
+	divBuf    *tensor.Tensor
 }
 
 // Build constructs a MicroDeep model for net deployed on w using the given
@@ -87,6 +98,7 @@ func (m *Model) EnableLocalUpdate() {
 		return
 	}
 	m.localUpdate = true
+	m.repByStage = make([]*convReplica, len(m.Graph.Stages))
 	for si, st := range m.Graph.Stages {
 		if st.Kind != StageConv {
 			continue
@@ -102,13 +114,13 @@ func (m *Model) EnableLocalUpdate() {
 			r.kernels[p] = st.Conv.Weight().Clone()
 			r.grads[p] = tensor.New(st.Conv.Weight().Shape()...)
 		}
-		rep := r
-		rep.conv.SetReplicaHooks(
-			func(oy, ox int) *tensor.Tensor { return rep.kernels[oy*rep.w+ox] },
-			func(oy, ox int) *tensor.Tensor { return rep.grads[oy*rep.w+ox] },
-		)
+		r.conv.SetReplicaTable(r.kernels, r.grads, r.w)
 		m.replicas = append(m.replicas, r)
+		m.repByStage[si] = r
 	}
+	// The hook change invalidates any cached shadow stacks and executor.
+	m.Net.ResetParallelState()
+	m.exec = nil
 }
 
 // LocalUpdate reports whether the local weight-update mode is active.
@@ -126,22 +138,32 @@ func (m *Model) ReplicaCount() int {
 
 // ReplicaDivergence returns the mean L2 distance between every conv replica
 // and the mean kernel of its stage — a measure of how far independent local
-// updates have drifted apart.
+// updates have drifted apart. The per-kernel distance accumulates in the
+// same element order as the Clone/Sub/L2 sequence it replaces, so the value
+// is bit-identical while allocating only one reused mean buffer per stage.
 func (m *Model) ReplicaDivergence() float64 {
 	if len(m.replicas) == 0 {
 		return 0
 	}
 	total, count := 0.0, 0
 	for _, r := range m.replicas {
-		mean := tensor.New(r.conv.Weight().Shape()...)
+		if r.divBuf == nil {
+			r.divBuf = tensor.New(r.conv.Weight().Shape()...)
+		}
+		mean := r.divBuf
+		mean.Zero()
 		for _, k := range r.kernels {
 			mean.AddInPlace(k)
 		}
 		mean.ScaleInPlace(1 / float64(len(r.kernels)))
+		md := mean.Data()
 		for _, k := range r.kernels {
-			d := k.Clone()
-			d.SubInPlace(mean)
-			total += d.L2()
+			sum := 0.0
+			for i, kv := range k.Data() {
+				d := kv - md[i]
+				sum += d * d
+			}
+			total += math.Sqrt(sum)
 			count++
 		}
 	}
@@ -162,7 +184,7 @@ func (m *Model) zeroReplicaGrads() {
 func (m *Model) stepReplicas(opt *cnn.SGD, batch int) {
 	for _, r := range m.replicas {
 		for p, k := range r.kernels {
-			opt.Step([]*tensor.Tensor{k}, []*tensor.Tensor{r.grads[p]}, batch)
+			opt.StepOne(k, r.grads[p], batch)
 		}
 	}
 	m.stepCount++
@@ -175,17 +197,29 @@ func (m *Model) stepReplicas(opt *cnn.SGD, batch int) {
 // `every` optimizer steps (0 disables). Must be used with local updates.
 func (m *Model) SetGossip(every int) { m.gossipEvery = every }
 
+// gossipNeighbors are the four spatial neighbour offsets averaged by gossip.
+var gossipNeighbors = [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+
 // gossip replaces each position's kernel with the mean of itself and its
-// four spatial neighbours — a single one-hop exchange per conv unit.
+// four spatial neighbours — a single one-hop exchange per conv unit. The
+// next-value buffers are allocated once per replica and reused: gossip runs
+// inside the training loop, where the per-position clones it replaced were
+// the dominant allocation source.
 func (m *Model) gossip() {
 	for _, r := range m.replicas {
 		h := len(r.kernels) / r.w
-		next := make([]*tensor.Tensor, len(r.kernels))
+		if r.gossipBuf == nil {
+			r.gossipBuf = make([]*tensor.Tensor, len(r.kernels))
+			for p := range r.gossipBuf {
+				r.gossipBuf[p] = tensor.New(r.kernels[p].Shape()...)
+			}
+		}
 		for y := 0; y < h; y++ {
 			for x := 0; x < r.w; x++ {
-				avg := r.kernels[y*r.w+x].Clone()
+				avg := r.gossipBuf[y*r.w+x]
+				copy(avg.Data(), r.kernels[y*r.w+x].Data())
 				count := 1.0
-				for _, d := range [][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				for _, d := range gossipNeighbors {
 					ny, nx := y+d[0], x+d[1]
 					if ny < 0 || ny >= h || nx < 0 || nx >= r.w {
 						continue
@@ -194,10 +228,9 @@ func (m *Model) gossip() {
 					count++
 				}
 				avg.ScaleInPlace(1 / count)
-				next[y*r.w+x] = avg
 			}
 		}
-		for p, k := range next {
+		for p, k := range r.gossipBuf {
 			copy(r.kernels[p].Data(), k.Data())
 		}
 	}
@@ -244,11 +277,50 @@ func (m *Model) TrainEpoch(samples []cnn.Sample, perm []int, batch int, opt *cnn
 	return total / float64(count)
 }
 
+// TrainEpochParallel is TrainEpoch with the forward passes of each
+// mini-batch sharded across worker goroutines (workers <= 0 selects
+// runtime.NumCPU()). The shadow layer stacks share the canonical per-unit
+// kernel replicas — read-only during forwards — and the backward passes
+// reduce gradients (including the per-position replica grads) sequentially
+// in sample order, so the trained weights, replica kernels, gossip schedule,
+// and returned loss are bit-identical to TrainEpoch at any worker count.
+func (m *Model) TrainEpochParallel(samples []cnn.Sample, perm []int, batch, workers int, opt *cnn.SGD) float64 {
+	if !m.localUpdate {
+		return m.Net.TrainEpochParallel(samples, perm, batch, workers, opt)
+	}
+	if batch <= 0 {
+		panic("microdeep: non-positive batch size")
+	}
+	m.Net.ZeroGrads()
+	m.zeroReplicaGrads()
+	loss, ok := m.Net.TrainEpochParallelFunc(samples, perm, batch, workers, func(bsz int) {
+		opt.StepNetwork(m.Net, bsz) // dense layers + conv biases
+		m.stepReplicas(opt, bsz)
+		m.Net.ZeroGrads()
+		m.zeroReplicaGrads()
+	})
+	if !ok {
+		return m.TrainEpoch(samples, perm, batch, opt)
+	}
+	return loss
+}
+
 // Fit trains for the given number of epochs with a fresh shuffle per epoch.
 func (m *Model) Fit(samples []cnn.Sample, epochs, batch int, opt *cnn.SGD, stream *rng.Stream) float64 {
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
 		loss = m.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+	}
+	return loss
+}
+
+// FitParallel is Fit using TrainEpochParallel; it consumes the stream
+// identically to Fit, so at the same seed the trained model is bit-identical
+// to the sequential path.
+func (m *Model) FitParallel(samples []cnn.Sample, epochs, batch, workers int, opt *cnn.SGD, stream *rng.Stream) float64 {
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		loss = m.TrainEpochParallel(samples, stream.Perm(len(samples)), batch, workers, opt)
 	}
 	return loss
 }
@@ -259,20 +331,25 @@ func (m *Model) Evaluate(samples []cnn.Sample) float64 { return m.Net.Evaluate(s
 
 // ForwardDistributed runs the site-by-site distributed executor, returning
 // the final-stage outputs. It does not charge communication; call
-// ChargeForward/ChargeBackward for cost accounting.
+// ChargeForward/ChargeBackward for cost accounting. The executor (and its
+// value arena) is cached on the model and reused across calls;
+// EnableLocalUpdate invalidates it.
 func (m *Model) ForwardDistributed(input *tensor.Tensor) (*tensor.Tensor, error) {
-	ex := NewExecutor(m.Graph)
-	if m.localUpdate {
-		ex.KernelFor = func(stage int, s Site) *tensor.Tensor {
-			for _, r := range m.replicas {
-				if r.stage == stage {
-					return r.kernels[s.Y*r.w+s.X]
+	if m.exec == nil {
+		ex := NewExecutor(m.Graph)
+		if m.localUpdate {
+			byStage := m.repByStage
+			ex.KernelFor = func(stage int, s Site) *tensor.Tensor {
+				r := byStage[stage]
+				if r == nil {
+					return nil
 				}
+				return r.kernels[s.Y*r.w+s.X]
 			}
-			return nil
 		}
+		m.exec = ex
 	}
-	return ex.Forward(input)
+	return m.exec.Forward(input)
 }
 
 // CostPerSample charges m.WSN with one forward+backward pass and returns

@@ -1,0 +1,141 @@
+package microdeep
+
+import (
+	"sync"
+
+	"zeiot/internal/wsn"
+)
+
+// The plan cache memoizes Plan results. A transfer plan depends on exactly
+// three inputs — the dependency graph, the site-to-node assignment, and the
+// network topology — and the hot cost paths (CostPerSample, the experiment
+// sweeps, E8's resilience probes) recompute it with identical inputs over
+// and over. The cache keys on the graph and network identities plus the
+// network's TopologyEpoch, so a Fail/Recover invalidates every plan derived
+// from the old connectivity without any explicit hook.
+//
+// Assignments are value slices, so the key carries an FNV-1a hash of
+// NodeOf and each entry keeps its own copy of the slice: a hash hit is
+// confirmed element-wise before the cached plan is reused, making a hash
+// collision a forced miss instead of a wrong plan.
+
+// planCacheLimit bounds the cache; when full it is cleared wholesale (the
+// working set of distinct (graph, assignment, epoch) triples in one
+// experiment is far below the limit, so eviction order never matters).
+const planCacheLimit = 64
+
+type planKey struct {
+	g     *Graph
+	w     *wsn.Network
+	epoch uint64
+	n     int
+	hash  uint64
+}
+
+type planEntry struct {
+	nodeOf []int
+	plan   []Transfer
+}
+
+var planCache = struct {
+	sync.Mutex
+	m map[planKey]*planEntry
+	// rawSeen/edgeSeen are the reusable dedup bitsets computePlan scratches
+	// in; they are guarded by the cache mutex like the map.
+	rawSeen, edgeSeen bitset
+}{m: make(map[planKey]*planEntry)}
+
+// hashNodeOf is FNV-1a over the assignment vector, mixing each node id as
+// a 64-bit word.
+func hashNodeOf(nodeOf []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range nodeOf {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	return h
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planFor returns the (possibly cached) transfer plan for g under a on w.
+// The returned slice is shared with the cache and must be treated as
+// read-only; the exported Plan copies it before handing it out.
+func planFor(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
+	key := planKey{g: g, w: w, epoch: w.TopologyEpoch(), n: len(a.NodeOf), hash: hashNodeOf(a.NodeOf)}
+	planCache.Lock()
+	defer planCache.Unlock()
+	if e, ok := planCache.m[key]; ok && equalInts(e.nodeOf, a.NodeOf) {
+		return e.plan, nil
+	}
+	plan, err := computePlan(g, a, w, &planCache.rawSeen, &planCache.edgeSeen)
+	if err != nil {
+		return nil, err
+	}
+	if len(planCache.m) >= planCacheLimit {
+		clear(planCache.m)
+	}
+	planCache.m[key] = &planEntry{nodeOf: append([]int(nil), a.NodeOf...), plan: plan}
+	return plan, nil
+}
+
+// bitset is a reusable flat bit vector with O(touched) clearing: testSet
+// records which words it dirtied so reset only rewrites those.
+type bitset struct {
+	words   []uint64
+	touched []int
+}
+
+// ensure sizes the bitset for n bits and clears it. Touched indices may
+// come from a previous, larger sizing, so the clear happens at full
+// capacity before truncating.
+func (b *bitset) ensure(n int) {
+	nw := (n + 63) >> 6
+	if cap(b.words) < nw {
+		b.words = make([]uint64, nw)
+		b.touched = b.touched[:0]
+		return
+	}
+	b.words = b.words[:cap(b.words)]
+	b.reset()
+	b.words = b.words[:nw]
+}
+
+// testSet reports whether bit i was already set, setting it either way.
+func (b *bitset) testSet(i int) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.words[w]&m != 0 {
+		return true
+	}
+	if b.words[w] == 0 {
+		b.touched = append(b.touched, w)
+	}
+	b.words[w] |= m
+	return false
+}
+
+// reset clears every touched word.
+func (b *bitset) reset() {
+	for _, w := range b.touched {
+		b.words[w] = 0
+	}
+	b.touched = b.touched[:0]
+}

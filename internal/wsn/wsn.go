@@ -43,6 +43,15 @@ type Network struct {
 	hops     [][]int
 	next     [][]int
 	dirty    bool
+	// epoch counts topology changes (Fail/Recover that actually flip a
+	// node's state). Callers that cache route- or plan-derived data key it
+	// on TopologyEpoch and invalidate when the value moves.
+	epoch uint64
+	// routes memoizes Route results as views into routeArena (index
+	// i*len(nodes)+j). The arena is replaced — never truncated — on
+	// rebuild, so previously handed-out route slices stay valid snapshots.
+	routes     [][]int
+	routeArena []int
 }
 
 // New builds a network from node positions; two live nodes are linked when
@@ -102,6 +111,7 @@ func (n *Network) Fail(id int) {
 	if !n.nodes[id].Failed {
 		n.nodes[id].Failed = true
 		n.dirty = true
+		n.epoch++
 	}
 }
 
@@ -110,8 +120,15 @@ func (n *Network) Recover(id int) {
 	if n.nodes[id].Failed {
 		n.nodes[id].Failed = false
 		n.dirty = true
+		n.epoch++
 	}
 }
+
+// TopologyEpoch returns a counter that advances on every effective Fail or
+// Recover. Two calls returning the same value bracket a window in which
+// the connectivity graph — and therefore every hop count and route — was
+// unchanged, so derived caches keyed on it stay coherent.
+func (n *Network) TopologyEpoch() uint64 { return n.epoch }
 
 func (n *Network) rebuild() {
 	size := len(n.nodes)
@@ -165,6 +182,11 @@ func (n *Network) rebuild() {
 			}
 		}
 	}
+	// Reset the route memo. The arena is freshly allocated rather than
+	// truncated: route slices handed out before the rebuild must keep
+	// their contents.
+	n.routes = make([][]int, size*size)
+	n.routeArena = nil
 	n.dirty = false
 }
 
@@ -197,19 +219,36 @@ func (n *Network) Hops(i, j int) int {
 	return n.hops[i][j]
 }
 
-// Route returns the node sequence from i to j inclusive.
+// HopsTable returns the full hop-distance matrix indexed [from][to], with
+// -1 for unreachable pairs. The table is shared with the network and valid
+// until the next topology change; callers must treat it as read-only.
+func (n *Network) HopsTable() [][]int {
+	n.ensure()
+	return n.hops
+}
+
+// Route returns the node sequence from i to j inclusive. The slice is a
+// memoized view shared by every caller asking for the same pair under the
+// current topology; it must be treated as read-only.
 func (n *Network) Route(i, j int) ([]int, error) {
 	n.ensure()
 	if n.hops[i][j] < 0 {
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, i, j)
 	}
-	route := []int{i}
+	idx := i*len(n.nodes) + j
+	if r := n.routes[idx]; r != nil {
+		return r, nil
+	}
+	start := len(n.routeArena)
+	n.routeArena = append(n.routeArena, i)
 	cur := i
 	for cur != j {
 		cur = n.next[cur][j]
-		route = append(route, cur)
+		n.routeArena = append(n.routeArena, cur)
 	}
-	return route, nil
+	r := n.routeArena[start:len(n.routeArena):len(n.routeArena)]
+	n.routes[idx] = r
+	return r, nil
 }
 
 // Connected reports whether all live nodes form one component.
