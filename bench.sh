@@ -1,16 +1,22 @@
 #!/bin/sh
-# bench.sh — run the benchmark suite and append a dated record so perf
-# regressions are caught by diffing BENCH_<date> files across changes.
+# bench.sh — run the benchmark suite and record the results as
+# BENCH_pr<N>.json (the machine-diffable record shape cmd/benchjson emits;
+# see BENCH_pr2.json for the convention). Perf regressions are caught by
+# diffing the BENCH_pr<N>.json files across PRs.
 #
-# Usage: ./bench.sh [go-test-bench-regexp]   (default: all benchmarks)
+# Usage: ./bench.sh <pr-number> [go-test-bench-regexp]
 set -eu
 
-pattern="${1:-.}"
-out="BENCH_$(date +%Y-%m-%d)"
+if [ $# -lt 1 ]; then
+  echo "usage: ./bench.sh <pr-number> [go-test-bench-regexp]" >&2
+  exit 2
+fi
+pr="$1"
+pattern="${2:-.}"
+out="BENCH_pr${pr}.json"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-{
-  echo "# $(date -u +%Y-%m-%dT%H:%M:%SZ) commit $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-  go test -run '^$' -bench "$pattern" -benchmem .
-} | tee -a "$out"
+go test -run '^$' -bench "$pattern" -benchmem . |
+  go run ./cmd/benchjson -record "PR ${pr} benchmark suite (bench.sh)" -commit "$commit" > "$out"
 
 echo "recorded in $out" >&2

@@ -1,9 +1,17 @@
 #!/bin/sh
-# ci.sh — the gate every change must pass: build, vet, and the full test
-# suite under the race detector (the data-parallel training path makes the
-# race run load-bearing, not optional).
+# ci.sh — the gate every change must pass: build, vet, the full test suite
+# under the race detector (the data-parallel training path makes the race
+# run load-bearing, not optional), and an end-to-end reproducibility smoke
+# run: e1 at seed 1 must emit exactly the checked-in golden JSON, so a
+# determinism regression anywhere in the stack fails CI even if no unit
+# test covers it.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+
+smoke="$(mktemp)"
+trap 'rm -f "$smoke"' EXIT
+go run ./cmd/zeiotbench -e e1 -seed 1 -json > "$smoke"
+diff -u testdata/e1_seed1.golden.json "$smoke"

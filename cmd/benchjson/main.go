@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the repo's BENCH_pr<N>.json record shape, so every PR's
+// benchmark snapshot is machine-diffable instead of a dated text blob.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -record "PR 3" -commit abc1234 > BENCH_pr3.json
+//
+// Standard value/unit pairs (ns/op, B/op, allocs/op) map to the top-level
+// ns_per_op / bytes_per_op / allocs_per_op fields; every other pair — the
+// custom b.ReportMetric keys the experiment benchmarks emit — lands in the
+// per-benchmark metrics map. goos/goarch/pkg/cpu header lines are carried
+// through verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+}
+
+type record struct {
+	Record     string      `json:"record"`
+	Recorded   string      `json:"recorded"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		desc   = flag.String("record", "benchmark run", "one-line description of what was recorded")
+		commit = flag.String("commit", "unknown", "commit hash the run measured")
+	)
+	flag.Parse()
+
+	rec := record{
+		Record:   *desc,
+		Recorded: fmt.Sprintf("%s commit %s", time.Now().UTC().Format("2006-01-02T15:04:05Z"), *commit),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rec.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rec.Benchmarks = append(rec.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine splits "BenchmarkName-8  3  414299577 ns/op  0.875 acc  ..."
+// into the record shape: field 0 is the name (GOMAXPROCS suffix stripped),
+// field 1 the iteration count, and the rest value/unit pairs.
+func parseBenchLine(line string) (benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return benchmark{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}

@@ -7,6 +7,7 @@
 //	zeiotbench -seed 7         # change the root seed
 //	zeiotbench -parallel 4     # run up to 4 experiments concurrently
 //	zeiotbench -trainworkers 4 # CNN training workers (results unchanged)
+//	zeiotbench -loss 0.1       # lossy-link fault injection (e8/e11 gain loss dimensions)
 //	zeiotbench -list           # list experiments
 package main
 
@@ -35,9 +36,24 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		parallel = flag.Int("parallel", 1, "max experiments run concurrently (0 = NumCPU)")
 		trainW   = flag.Int("trainworkers", 0, "CNN training workers per experiment (0 = NumCPU); any value yields bit-identical results")
+		loss     = flag.Float64("loss", 0, "per-link drop probability for fault injection (0 = disabled; e8 gains a loss sweep, e11 charges retransmission energy)")
+		lossB    = flag.Bool("lossburst", false, "use Gilbert-Elliott burst loss instead of independent drops")
+		lossR    = flag.Int("lossretries", 3, "max retransmissions per hop for the reliable transport (0 = no retries)")
 	)
 	flag.Parse()
 	zeiot.SetTrainWorkers(*trainW)
+	if *loss < 0 || *loss > 1 {
+		fmt.Fprintln(os.Stderr, "zeiotbench: -loss must be in [0, 1]")
+		return 2
+	}
+	if *loss > 0 {
+		cfg := zeiot.DefaultLossConfig()
+		cfg.Enabled = true
+		cfg.DropProb = *loss
+		cfg.Burst = *lossB
+		cfg.MaxRetries = *lossR
+		zeiot.SetLossConfig(cfg)
+	}
 
 	if *list {
 		for _, e := range zeiot.Experiments() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/dataset"
 	"zeiot/internal/rng"
@@ -78,5 +79,54 @@ func assertSameParams(t *testing.T, a, b *cnn.Network) {
 				t.Errorf("layer %d (%s) param %d differs from sequential result", i, la[i].Name(), j)
 			}
 		}
+	}
+}
+
+// TestE8LossSweepDeterministic runs the e8 loss sweep twice at the same
+// seed — once serially, once with four training workers — and requires the
+// two Summary maps to match exactly. The sweep's delivery outcomes come
+// from per-link rng substreams seeded only by (experiment seed, drop rate,
+// link), and parallel training is bit-identical to serial, so the worker
+// count must not move a single number.
+func TestE8LossSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the lounge CNN twice")
+	}
+	cfg := zeiot.DefaultLossConfig()
+	cfg.Enabled = true
+	zeiot.SetLossConfig(cfg)
+	defer zeiot.SetLossConfig(zeiot.LossConfig{})
+	defer zeiot.SetTrainWorkers(0)
+
+	zeiot.SetTrainWorkers(1)
+	a, err := zeiot.RunE8Resilience(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeiot.SetTrainWorkers(4)
+	b, err := zeiot.RunE8Resilience(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Summary) != len(b.Summary) {
+		t.Fatalf("summary sizes differ: %d vs %d", len(a.Summary), len(b.Summary))
+	}
+	for k, va := range a.Summary {
+		vb, ok := b.Summary[k]
+		if !ok {
+			t.Fatalf("summary key %q missing from the 4-worker run", k)
+		}
+		if va != vb {
+			t.Errorf("summary[%q] differs: serial %v, 4 workers %v", k, va, vb)
+		}
+	}
+	// The sweep actually ran and retries bought accuracy at some rate.
+	for _, k := range []string{"acc_loss_30_retry", "acc_loss_30_noretry", "cost_loss_30_retry"} {
+		if _, ok := a.Summary[k]; !ok {
+			t.Fatalf("loss sweep did not produce summary key %q", k)
+		}
+	}
+	if a.Summary["cost_loss_30_retry"] <= a.Summary["cost_loss_30_noretry"] {
+		t.Error("retries at 30% loss did not increase the charged comm cost")
 	}
 }

@@ -82,7 +82,13 @@ func (r *Result) WriteTo(w io.Writer) (int64, error) {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Rows may be ragged (e.g. annotation rows wider than Header):
+			// cells beyond the last header column render unpadded.
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteString("\n")
 	}

@@ -37,6 +37,32 @@ func TestFindExperiment(t *testing.T) {
 	}
 }
 
+// TestResultRenderingRaggedRows is the regression test for the writeRow
+// panic: rows wider than Header indexed widths[i] out of range. Wider rows
+// now render their extra cells unpadded; narrower rows were always fine.
+func TestResultRenderingRaggedRows(t *testing.T) {
+	r := &Result{
+		ID:     "ex",
+		Title:  "ragged",
+		Header: []string{"a", "bb", "ccc"},
+		Rows: [][]string{
+			{"1", "2", "3", "extra", "wider"}, // wider than Header
+			{"4"},                             // narrower than Header
+			{"5", "6", "7"},
+		},
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"extra", "wider", "4", "7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ragged rendering lost cell %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestResultRendering(t *testing.T) {
 	r := &Result{
 		ID:         "ex",

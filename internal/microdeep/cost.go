@@ -154,6 +154,32 @@ func charge(g *Graph, a Assignment, w *wsn.Network, reverse bool) (int, error) {
 	return total, nil
 }
 
+// ChargeForwardReliable replays the forward transfer plan link by link
+// through the lossy-link fault model with per-hop retries, charging the
+// actual Tx/Rx scalars of every transmission attempt (retransmissions
+// included) on w's counters — the Fig. 10 comm-cost metric under loss. A
+// transfer that exhausts its retries stays lost; its upstream attempts
+// remain charged because that energy was spent. With fm == nil the charges
+// are exactly ChargeForward's, so the disabled fault layer is a strict
+// no-op. It returns the aggregate delivery stats.
+func ChargeForwardReliable(g *Graph, a Assignment, w *wsn.Network, fm *wsn.LinkFaultModel, rp wsn.RetryPolicy) (DeliveryStats, error) {
+	plan, err := planFor(g, a, w)
+	if err != nil {
+		return DeliveryStats{}, err
+	}
+	var st DeliveryStats
+	for _, tr := range plan {
+		// Plan transfers are single-hop link transmissions, so SendReliable
+		// resolves to one direct hop with its retry loop.
+		d, err := w.SendReliable(tr.From, tr.To, tr.Scalars, fm, rp)
+		if err != nil {
+			return st, err
+		}
+		st.add(d)
+	}
+	return st, nil
+}
+
 // ChargeWeightSync charges the gradient-aggregation traffic a fully
 // synchronized distributed training step needs for shared convolution
 // kernels: every node hosting conv sites ships its kernel gradient to the

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"zeiot/internal/tensor"
+	"zeiot/internal/wsn"
 )
 
 // Executor runs the distributed forward pass site by site, exactly as the
@@ -31,10 +32,56 @@ type Executor struct {
 	Assign    *Assignment
 	DeadNodes map[int]bool
 	DeadSites map[int]bool
+	// Net, Faults, and Retry (with Assign set) enable lossy execution — the
+	// §V broken-devices challenge extended from dead nodes to marginal
+	// links: every cross-node dependency transfer goes through
+	// Net.SendReliable under the fault model, charging the actual
+	// per-attempt Tx/Rx scalars on Net's counters. A transfer that
+	// exhausts its retries degrades gracefully: the consuming site computes
+	// on a zero input instead of the whole pass erroring. Outcomes are
+	// deduplicated per (producer site, consumer node) within one Forward,
+	// mirroring the planner's broadcast dedup. With Faults == nil the
+	// executor is byte-identical to the fault-free path.
+	Net    *wsn.Network
+	Faults *wsn.LinkFaultModel
+	Retry  wsn.RetryPolicy
+	// Stats accumulates delivery outcomes across Forward calls while lossy
+	// execution is active.
+	Stats DeliveryStats
 	// values[sid] is a view into arena holding the site's output vector;
 	// both are scratch reused across Forward calls.
 	values [][]float64
 	arena  []float64
+	// Lossy-execution scratch: delivered memoizes outcomes per (producer
+	// site, consumer node) for the current Forward; lostDeps/lostVals
+	// record the value views swapped out for zeroBuf while one site
+	// computes.
+	delivered map[int]bool
+	lostDeps  []int
+	lostVals  [][]float64
+	zeroBuf   []float64
+}
+
+// DeliveryStats aggregates reliable-transport outcomes over the transfers
+// of one or more passes.
+type DeliveryStats struct {
+	// Transfers counts end-to-end deliveries attempted; Lost the ones that
+	// exhausted their retries.
+	Transfers, Lost int
+	// Attempts counts link-level transmissions (retransmissions included);
+	// Retries the retransmissions alone; BackoffSlots the accumulated
+	// backoff waits.
+	Attempts, Retries, BackoffSlots int
+}
+
+func (s *DeliveryStats) add(d wsn.Delivery) {
+	s.Transfers++
+	if !d.Delivered {
+		s.Lost++
+	}
+	s.Attempts += d.Attempts
+	s.Retries += d.Retries
+	s.BackoffSlots += d.BackoffSlots
 }
 
 func (e *Executor) siteDead(sid int) bool {
@@ -94,6 +141,14 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 			v[c] = ind[(c*inSt.H+s.Y)*inSt.W+s.X]
 		}
 	}
+	lossy := e.Faults != nil && e.Assign != nil && e.Net != nil
+	if lossy {
+		if e.delivered == nil {
+			e.delivered = make(map[int]bool)
+		} else {
+			clear(e.delivered)
+		}
+	}
 	for si := 1; si < len(g.Stages); si++ {
 		st := g.Stages[si]
 		prev := g.Stages[si-1]
@@ -101,6 +156,9 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 			s := g.Sites[sid]
 			if e.siteDead(sid) {
 				continue // arena is pre-zeroed
+			}
+			if lossy {
+				e.lossApply(sid)
 			}
 			out := values[sid]
 			switch st.Kind {
@@ -112,6 +170,9 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 				denseSite(st, prev, s, g, values, out)
 			default:
 				return nil, fmt.Errorf("microdeep: cannot execute stage kind %v", st.Kind)
+			}
+			if lossy {
+				e.lossRestore()
 			}
 			if st.FusedReLU {
 				for i, v := range out {
@@ -132,6 +193,60 @@ func (e *Executor) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 		flat = append(flat, values[sid]...)
 	}
 	return tensor.FromSlice(flat, len(flat)), nil
+}
+
+// lossApply runs the reliable transport for every cross-node dependency of
+// site sid, swapping the value views of undelivered dependencies to a
+// shared zero buffer so the site computes on zero inputs. lossRestore must
+// run after the site's compute. Outcomes memoize per (producer site,
+// consumer node): all consumers co-located on one node share a single
+// broadcast delivery, exactly like the planner's raw-shipping dedup.
+func (e *Executor) lossApply(sid int) {
+	s := e.graph.Sites[sid]
+	tn := e.Assign.NodeOf[sid]
+	numNodes := e.Net.NumNodes()
+	for _, dep := range s.Deps {
+		dn := e.Assign.NodeOf[dep]
+		if dn == tn {
+			continue
+		}
+		key := dep*numNodes + tn
+		ok, seen := e.delivered[key]
+		if !seen {
+			width := e.graph.Sites[dep].Width
+			d, err := e.Net.SendReliable(dn, tn, width, e.Faults, e.Retry)
+			if err != nil {
+				// No route (e.g. a failure partitioned the network): the
+				// value can never arrive — treat as lost.
+				e.Stats.Transfers++
+				e.Stats.Lost++
+				ok = false
+			} else {
+				e.Stats.add(d)
+				ok = d.Delivered
+			}
+			e.delivered[key] = ok
+		}
+		if !ok {
+			width := e.graph.Sites[dep].Width
+			if len(e.zeroBuf) < width {
+				e.zeroBuf = make([]float64, width)
+			}
+			e.lostDeps = append(e.lostDeps, dep)
+			e.lostVals = append(e.lostVals, e.values[dep])
+			e.values[dep] = e.zeroBuf[:width]
+		}
+	}
+}
+
+// lossRestore undoes lossApply's zero-buffer swaps.
+func (e *Executor) lossRestore() {
+	for i, dep := range e.lostDeps {
+		e.values[dep] = e.lostVals[i]
+		e.lostVals[i] = nil
+	}
+	e.lostDeps = e.lostDeps[:0]
+	e.lostVals = e.lostVals[:0]
 }
 
 func (e *Executor) convSite(stage int, st Stage, s Site, values [][]float64, out []float64) {

@@ -92,10 +92,16 @@ type Stage struct {
 }
 
 // Graph is the unit graph of a CNN: sites grouped into stages with
-// dependency edges, ready for assignment onto a WSN.
+// dependency edges, ready for assignment onto a WSN. A Graph must not be
+// copied after first use: it owns its plan cache (see plancache.go).
 type Graph struct {
 	Stages []Stage
 	Sites  []Site
+
+	// plans memoizes transfer plans for this graph, keyed on the target
+	// network's identity and topology epoch plus the assignment hash; the
+	// cache dies with the graph.
+	plans planCache
 }
 
 // NumSites returns the total number of sites.

@@ -10,23 +10,30 @@ import (
 // three inputs — the dependency graph, the site-to-node assignment, and the
 // network topology — and the hot cost paths (CostPerSample, the experiment
 // sweeps, E8's resilience probes) recompute it with identical inputs over
-// and over. The cache keys on the graph and network identities plus the
-// network's TopologyEpoch, so a Fail/Recover invalidates every plan derived
-// from the old connectivity without any explicit hook.
+// and over.
+//
+// The cache lives on the Graph whose plans it stores, so its lifetime is
+// owned: entries die with the graph instead of pinning every graph and
+// network ever planned in a package-global map, and a freed graph's reused
+// address can never resurface a stale entry (the old global cache keyed on
+// the raw *Graph pointer and could). Networks are identified by their
+// process-unique wsn.Network.ID — a monotonic counter, never reused — plus
+// the network's TopologyEpoch, so a Fail/Recover invalidates every plan
+// derived from the old connectivity without any explicit hook.
 //
 // Assignments are value slices, so the key carries an FNV-1a hash of
 // NodeOf and each entry keeps its own copy of the slice: a hash hit is
 // confirmed element-wise before the cached plan is reused, making a hash
 // collision a forced miss instead of a wrong plan.
 
-// planCacheLimit bounds the cache; when full it is cleared wholesale (the
-// working set of distinct (graph, assignment, epoch) triples in one
-// experiment is far below the limit, so eviction order never matters).
+// planCacheLimit bounds each graph's cache; when full it is cleared
+// wholesale (the working set of distinct (network, assignment, epoch)
+// triples in one experiment is far below the limit, so eviction order
+// never matters).
 const planCacheLimit = 64
 
 type planKey struct {
-	g     *Graph
-	w     *wsn.Network
+	net   uint64 // wsn.Network.ID — process-unique, never reused
 	epoch uint64
 	n     int
 	hash  uint64
@@ -37,13 +44,16 @@ type planEntry struct {
 	plan   []Transfer
 }
 
-var planCache = struct {
-	sync.Mutex
-	m map[planKey]*planEntry
-	// rawSeen/edgeSeen are the reusable dedup bitsets computePlan scratches
-	// in; they are guarded by the cache mutex like the map.
+// planCache is the per-Graph plan memo. The mutex guards the map and the
+// scratch bitsets computePlan dedups in (experiments plan the same graph
+// from concurrent goroutines).
+type planCache struct {
+	mu sync.Mutex
+	m  map[planKey]*planEntry
+	// rawSeen/edgeSeen are the reusable dedup bitsets computePlan
+	// scratches in.
 	rawSeen, edgeSeen bitset
-}{m: make(map[planKey]*planEntry)}
+}
 
 // hashNodeOf is FNV-1a over the assignment vector, mixing each node id as
 // a 64-bit word.
@@ -80,20 +90,23 @@ func equalInts(a, b []int) bool {
 // The returned slice is shared with the cache and must be treated as
 // read-only; the exported Plan copies it before handing it out.
 func planFor(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
-	key := planKey{g: g, w: w, epoch: w.TopologyEpoch(), n: len(a.NodeOf), hash: hashNodeOf(a.NodeOf)}
-	planCache.Lock()
-	defer planCache.Unlock()
-	if e, ok := planCache.m[key]; ok && equalInts(e.nodeOf, a.NodeOf) {
+	key := planKey{net: w.ID(), epoch: w.TopologyEpoch(), n: len(a.NodeOf), hash: hashNodeOf(a.NodeOf)}
+	c := &g.plans
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok && equalInts(e.nodeOf, a.NodeOf) {
 		return e.plan, nil
 	}
-	plan, err := computePlan(g, a, w, &planCache.rawSeen, &planCache.edgeSeen)
+	plan, err := computePlan(g, a, w, &c.rawSeen, &c.edgeSeen)
 	if err != nil {
 		return nil, err
 	}
-	if len(planCache.m) >= planCacheLimit {
-		clear(planCache.m)
+	if c.m == nil {
+		c.m = make(map[planKey]*planEntry)
+	} else if len(c.m) >= planCacheLimit {
+		clear(c.m)
 	}
-	planCache.m[key] = &planEntry{nodeOf: append([]int(nil), a.NodeOf...), plan: plan}
+	c.m[key] = &planEntry{nodeOf: append([]int(nil), a.NodeOf...), plan: plan}
 	return plan, nil
 }
 

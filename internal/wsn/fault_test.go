@@ -1,0 +1,242 @@
+package wsn
+
+import (
+	"math"
+	"testing"
+
+	"zeiot/internal/geom"
+)
+
+// TestLinkFaultModelDeterminism replays an interleaved attempt sequence on
+// two models built from the same config and requires identical outcomes —
+// the property every reproducible loss sweep rests on — and checks that a
+// different seed actually changes the sequence.
+func TestLinkFaultModelDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, DropProb: 0.3}
+	attempts := func(m *LinkFaultModel) []bool {
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, m.Attempt(i%4, (i+1)%4))
+		}
+		return out
+	}
+	a := attempts(NewLinkFaultModel(cfg))
+	b := attempts(NewLinkFaultModel(cfg))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d differs between identically seeded models", i)
+		}
+	}
+
+	m := NewLinkFaultModel(cfg)
+	first := attempts(m)
+	m.Reset()
+	if m.Clock() != 0 {
+		t.Fatalf("Reset left clock at %d", m.Clock())
+	}
+	second := attempts(m)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("attempt %d differs after Reset", i)
+		}
+	}
+
+	other := attempts(NewLinkFaultModel(FaultConfig{Seed: 43, DropProb: 0.3}))
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical outcome sequences")
+	}
+}
+
+// TestLinkFaultModelRates checks the empirical loss rate of both channel
+// flavours against the configured rate: i.i.d. drops directly, and the
+// Gilbert-Elliott parameters of GilbertElliottFor, whose stationary rate is
+// constructed to equal p.
+func TestLinkFaultModelRates(t *testing.T) {
+	const n = 20000
+	for _, p := range []float64{0.05, 0.1, 0.2} {
+		for _, burst := range []bool{false, true} {
+			cfg := FaultConfig{Seed: 7}
+			if burst {
+				cfg.Burst = GilbertElliottFor(p)
+			} else {
+				cfg.DropProb = p
+			}
+			m := NewLinkFaultModel(cfg)
+			lost := 0
+			for i := 0; i < n; i++ {
+				if !m.Attempt(0, 1) {
+					lost++
+				}
+			}
+			got := float64(lost) / n
+			if math.Abs(got-p) > 0.02 {
+				t.Errorf("p=%v burst=%v: empirical loss %.4f", p, burst, got)
+			}
+		}
+	}
+}
+
+// TestBrownoutWindow verifies that attempts touching a browned-out node
+// fail for exactly the configured tick window, on both link directions,
+// and that the loss draws of later attempts are unperturbed by the window.
+func TestBrownoutWindow(t *testing.T) {
+	m := NewLinkFaultModel(FaultConfig{
+		Seed:      1,
+		Brownouts: []Brownout{{Node: 1, Start: 10, End: 20}},
+	})
+	for i := 0; i < 40; i++ {
+		from, to := 0, 1
+		if i%2 == 1 {
+			from, to = 1, 2
+		}
+		got := m.Attempt(from, to)
+		want := i < 10 || i >= 20 // DropProb 0: only the window loses
+		if got != want {
+			t.Fatalf("attempt %d (tick %d): delivered=%v, want %v", i, i, got, want)
+		}
+	}
+
+	// A browned-out attempt consumes no loss draw, so after the window the
+	// link's loss process resumes exactly where it would have started: the
+	// brownout model's attempt 5+i matches the reference's attempt i.
+	ref := NewLinkFaultModel(FaultConfig{Seed: 9, DropProb: 0.5})
+	bo := NewLinkFaultModel(FaultConfig{Seed: 9, DropProb: 0.5,
+		Brownouts: []Brownout{{Node: 0, Start: 0, End: 5}}})
+	var refOut, boOut []bool
+	for i := 0; i < 100; i++ {
+		refOut = append(refOut, ref.Attempt(0, 1))
+		boOut = append(boOut, bo.Attempt(0, 1))
+	}
+	for i := 5; i < 100; i++ {
+		if boOut[i] != refOut[i-5] {
+			t.Fatalf("post-window attempt %d does not resume the loss process", i)
+		}
+	}
+}
+
+// TestSendReliableNilModelMatchesSend requires the disabled fault layer to
+// be a strict no-op: identical counters and hop counts as Send.
+func TestSendReliableNilModelMatchesSend(t *testing.T) {
+	a := NewGrid(4, 4, 1)
+	b := NewGrid(4, 4, 1)
+	for from := 0; from < a.NumNodes(); from++ {
+		for to := 0; to < a.NumNodes(); to++ {
+			hops, err := a.Send(from, to, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := b.SendReliable(from, to, 3, nil, DefaultRetryPolicy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Delivered || d.Hops != hops || d.Retries != 0 || d.BackoffSlots != 0 {
+				t.Fatalf("%d->%d: delivery %+v, Send hops %d", from, to, d, hops)
+			}
+		}
+	}
+	for i := range a.Nodes() {
+		na, nb := a.Node(i), b.Node(i)
+		if na.TxScalars != nb.TxScalars || na.RxScalars != nb.RxScalars {
+			t.Fatalf("node %d counters diverge: Send %d/%d, SendReliable %d/%d",
+				i, na.TxScalars, na.RxScalars, nb.TxScalars, nb.RxScalars)
+		}
+	}
+}
+
+// TestSendReliableChargesRetries pins the retry accounting on a single
+// always-lossy hop: every attempt charges the transmitter, the receiver is
+// never charged, and the backoff doubles up to its cap.
+func TestSendReliableChargesRetries(t *testing.T) {
+	n := NewGrid(1, 2, 1)
+	m := NewLinkFaultModel(FaultConfig{Seed: 3, DropProb: 1})
+	rp := RetryPolicy{MaxRetries: 4, BackoffBase: 1, BackoffCap: 4}
+	d, err := n.SendReliable(0, 1, 10, m, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delivered {
+		t.Fatal("delivered through a DropProb=1 link")
+	}
+	if d.Attempts != 5 || d.Retries != 4 {
+		t.Fatalf("attempts/retries = %d/%d, want 5/4", d.Attempts, d.Retries)
+	}
+	// Backoff after failed attempts 0..3 (none after the final attempt):
+	// 1 + 2 + 4 + 4(capped) = 11 slots.
+	if d.BackoffSlots != 11 {
+		t.Fatalf("backoff slots = %d, want 11", d.BackoffSlots)
+	}
+	if tx := n.Node(0).TxScalars; tx != 50 {
+		t.Fatalf("transmitter charged %d scalars, want 5 attempts × 10 = 50", tx)
+	}
+	if rx := n.Node(1).RxScalars; rx != 0 {
+		t.Fatalf("receiver charged %d scalars for zero deliveries", rx)
+	}
+
+	// A lossless model delivers first try with Send-equal charges.
+	n2 := NewGrid(1, 2, 1)
+	d, err = n2.SendReliable(0, 1, 10, NewLinkFaultModel(FaultConfig{Seed: 3}), rp)
+	if err != nil || !d.Delivered || d.Attempts != 1 {
+		t.Fatalf("lossless delivery = %+v, err %v", d, err)
+	}
+	if n2.Node(0).TxScalars != 10 || n2.Node(1).RxScalars != 10 {
+		t.Fatalf("lossless charges %d/%d, want 10/10", n2.Node(0).TxScalars, n2.Node(1).RxScalars)
+	}
+}
+
+// TestSendReliableMultiHop checks that a mid-route retry exhaustion keeps
+// the upstream charges (the energy was spent) and reports the partial hop
+// count.
+func TestSendReliableMultiHop(t *testing.T) {
+	n := NewGrid(1, 3, 1) // 0 - 1 - 2 chain
+	// Brownout node 2 forever: hop 0→1 succeeds, hop 1→2 exhausts retries.
+	m := NewLinkFaultModel(FaultConfig{
+		Seed:      5,
+		Brownouts: []Brownout{{Node: 2, Start: 0, End: math.MaxUint64}},
+	})
+	rp := RetryPolicy{MaxRetries: 2, BackoffBase: 1, BackoffCap: 8}
+	d, err := n.SendReliable(0, 2, 4, m, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delivered || d.Hops != 1 {
+		t.Fatalf("delivery %+v, want undelivered after 1 hop", d)
+	}
+	if d.Attempts != 1+3 {
+		t.Fatalf("attempts = %d, want 1 (hop ok) + 3 (exhausted)", d.Attempts)
+	}
+	if n.Node(0).TxScalars != 4 || n.Node(1).RxScalars != 4 {
+		t.Fatalf("first hop charges %d/%d, want 4/4", n.Node(0).TxScalars, n.Node(1).RxScalars)
+	}
+	if n.Node(1).TxScalars != 12 || n.Node(2).RxScalars != 0 {
+		t.Fatalf("second hop charges %d tx / %d rx, want 12/0", n.Node(1).TxScalars, n.Node(2).RxScalars)
+	}
+}
+
+// TestNetworkIDUnique guards the cache-identity contract: every
+// constructed network — either constructor — gets a fresh, nonzero ID.
+func TestNetworkIDUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		var n *Network
+		if i%2 == 0 {
+			n = NewGrid(2, 2, 1)
+		} else {
+			var pos []geom.Point
+			for _, nd := range NewGrid(2, 2, 1).Nodes() {
+				pos = append(pos, nd.Pos)
+			}
+			n = NewFromRadioPlan(pos, DefaultRadioPlan())
+		}
+		id := n.ID()
+		if id == 0 || seen[id] {
+			t.Fatalf("network %d: id %d (zero or reused)", i, id)
+		}
+		seen[id] = true
+	}
+}

@@ -63,7 +63,7 @@ func (p RadioPlan) Usable(a, b geom.Point) bool {
 // ones under the plan — the automated network-construction step of the
 // design-support environment.
 func NewFromRadioPlan(positions []geom.Point, plan RadioPlan) *Network {
-	n := &Network{maxRange: -1, plan: &plan}
+	n := &Network{id: networkSeq.Add(1), maxRange: -1, plan: &plan}
 	for i, p := range positions {
 		n.nodes = append(n.nodes, &Node{ID: i, Pos: p})
 	}

@@ -6,13 +6,17 @@
 // a node is the number of scalar values it transmits (originating plus
 // forwarding) during a pass of the distributed computation. The package
 // also provides the two synchronized RSSI measurements of ref. [66]
-// (inter-node RSSI and surrounding RSSI) and node-failure injection for the
-// resilience experiment (E8).
+// (inter-node RSSI and surrounding RSSI), node-failure injection for the
+// resilience experiment (E8), and the lossy-link fault layer of fault.go —
+// a deterministic seeded LinkFaultModel (independent drops, Gilbert-Elliott
+// bursts, per-node brownout windows) with a reliable SendReliable path that
+// charges every retransmission.
 package wsn
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"zeiot/internal/geom"
 	"zeiot/internal/radio"
@@ -34,8 +38,15 @@ type Node struct {
 	RxScalars int
 }
 
+// networkSeq issues process-unique network identities; see Network.ID.
+var networkSeq atomic.Uint64
+
 // Network is a static multi-hop sensor network.
 type Network struct {
+	// id is a process-unique identity assigned at construction. Caches key
+	// on it instead of the *Network pointer, so a freed network's reused
+	// address can never alias a live cache entry.
+	id       uint64
 	nodes    []*Node
 	maxRange float64
 	plan     *RadioPlan
@@ -60,7 +71,7 @@ func New(positions []geom.Point, maxRange float64) *Network {
 	if maxRange <= 0 {
 		panic("wsn: non-positive range")
 	}
-	n := &Network{maxRange: maxRange}
+	n := &Network{id: networkSeq.Add(1), maxRange: maxRange}
 	for i, p := range positions {
 		n.nodes = append(n.nodes, &Node{ID: i, Pos: p})
 	}
@@ -68,11 +79,10 @@ func New(positions []geom.Point, maxRange float64) *Network {
 	return n
 }
 
-// NewGrid builds a rows×cols grid with the given spacing in metres, linked
-// so that the four axial neighbours are in range (range = 1.5×spacing,
-// which excludes diagonals at distance √2·spacing ≈ 1.41·spacing only when
-// spacing differences matter; diagonals are included since 1.41 < 1.5,
-// matching the mesh-like deployments of Fig. 8).
+// NewGrid builds a rows×cols grid with the given spacing in metres and
+// radio range 1.5×spacing. That range includes the four axial neighbours at
+// 1×spacing and the four diagonal neighbours at √2·spacing ≈ 1.41·spacing,
+// matching the mesh-like deployments of Fig. 8.
 func NewGrid(rows, cols int, spacing float64) *Network {
 	if rows <= 0 || cols <= 0 {
 		panic("wsn: non-positive grid dims")
@@ -123,6 +133,11 @@ func (n *Network) Recover(id int) {
 		n.epoch++
 	}
 }
+
+// ID returns this network's process-unique identity: a monotonic counter
+// assigned at construction and never reused, safe to key caches on where a
+// raw pointer could alias a freed network's recycled address.
+func (n *Network) ID() uint64 { return n.id }
 
 // TopologyEpoch returns a counter that advances on every effective Fail or
 // Recover. Two calls returning the same value bracket a window in which
@@ -332,10 +347,9 @@ func (n *Network) TotalCost() int {
 	return t
 }
 
-// InterNodeRSSI measures the RSSI of every live link with the given radio
-// model, people as obstructing bodies (ref. [66]'s inter-node RSSI). The
-// result maps [i][j] to dBm for each directed live link; non-links are NaN
-// (absent from the map).
+// LinkRSSI is one directed live-link measurement of ref. [66]'s inter-node
+// RSSI: the dBm received at To from From. MeasureInterNode returns a slice
+// with one entry per directed live link; non-links simply have no entry.
 type LinkRSSI struct {
 	From, To int
 	DBm      float64

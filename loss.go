@@ -1,0 +1,64 @@
+package zeiot
+
+import (
+	"math"
+
+	"zeiot/internal/wsn"
+)
+
+// LossConfig enables the lossy-link fault-injection dimension of the
+// experiments (zeiotbench -loss). With Enabled false — the default — every
+// experiment runs the fault-free code path and reports byte-identical
+// summaries; with it set, E8 gains a loss-rate sweep (accuracy and comm
+// cost vs drop rate, with and without retries) and E11 charges the
+// retransmission energy of the reliable transport on the backscatter
+// budget.
+type LossConfig struct {
+	Enabled bool
+	// DropProb is the per-link-attempt drop probability used by the
+	// single-rate consumers (E11); E8 sweeps its own canonical rates.
+	DropProb float64
+	// Burst selects Gilbert-Elliott burst loss (correlated fades) instead
+	// of independent per-attempt drops, at the same stationary loss rate.
+	Burst bool
+	// MaxRetries bounds the reliable transport's per-hop retransmissions;
+	// 0 disables retries.
+	MaxRetries int
+}
+
+// DefaultLossConfig returns the config zeiotbench -loss starts from: 10%
+// drops, independent losses, up to three retransmissions per hop.
+func DefaultLossConfig() LossConfig {
+	return LossConfig{DropProb: 0.1, MaxRetries: 3}
+}
+
+var lossConfig LossConfig
+
+// SetLossConfig installs the fault-injection config the experiments read.
+// Like SetTrainWorkers it is process-global, set once by the CLI before
+// experiments run.
+func SetLossConfig(c LossConfig) { lossConfig = c }
+
+// CurrentLossConfig returns the active fault-injection config.
+func CurrentLossConfig() LossConfig { return lossConfig }
+
+// faultModelFor builds the deterministic link fault model for an
+// experiment: the loss-stream seed mixes the experiment seed with the drop
+// rate, so every sweep point draws from an independent, reproducible
+// stream and never perturbs the experiment's own rng streams.
+func faultModelFor(seed uint64, rate float64, burst bool) *wsn.LinkFaultModel {
+	cfg := wsn.FaultConfig{Seed: seed ^ (math.Float64bits(rate) * 0x9e3779b97f4a7c15)}
+	if burst {
+		cfg.Burst = wsn.GilbertElliottFor(rate)
+	} else {
+		cfg.DropProb = rate
+	}
+	return wsn.NewLinkFaultModel(cfg)
+}
+
+// retryPolicyFor returns the default retry policy bounded at maxRetries.
+func retryPolicyFor(maxRetries int) wsn.RetryPolicy {
+	rp := wsn.DefaultRetryPolicy()
+	rp.MaxRetries = maxRetries
+	return rp
+}
