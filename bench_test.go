@@ -1,6 +1,7 @@
 package zeiot_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,27 +19,33 @@ import (
 // publishes its headline numbers as benchmark metrics, so a single
 // `go test -bench=.` regenerates (and records) every table and figure.
 // The metric-publishing run happens before the timer starts so ReportMetric
-// bookkeeping never pollutes ns/op.
+// bookkeeping never pollutes ns/op. Per-stage wall times from the warm-up
+// run are published with a _stage_sec suffix so cmd/benchjson can carry
+// them into the per-PR snapshot.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	exp, err := zeiot.FindExperiment(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := exp.Run(1) // warm-up run, also supplies the metrics
+	ctx := context.Background()
+	res, err := exp.Run(ctx, nil) // warm-up run, also supplies the metrics
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(1); err != nil {
+		if _, err := exp.Run(ctx, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	for _, k := range res.SummaryKeys() {
 		b.ReportMetric(res.Summary[k], k)
+	}
+	for _, stage := range res.Timings.Stages() {
+		b.ReportMetric(res.Timings[stage].Seconds(), stage+"_stage_sec")
 	}
 }
 

@@ -1,10 +1,13 @@
 #!/bin/sh
 # ci.sh — the gate every change must pass: build, vet, the full test suite
-# under the race detector (the data-parallel training path makes the race
-# run load-bearing, not optional), and an end-to-end reproducibility smoke
-# run: e1 at seed 1 must emit exactly the checked-in golden JSON, so a
-# determinism regression anywhere in the stack fails CI even if no unit
-# test covers it.
+# under the race detector (the data-parallel training path and the
+# concurrent mixed-config runs make the race run load-bearing, not
+# optional), and two end-to-end smokes: e1 and e7 at seed 1 must emit
+# exactly the checked-in golden JSON, so a determinism regression anywhere
+# in the stack fails CI even if no unit test covers it, and a
+# mixed-config parallel run — two experiments with different per-run
+# worker counts, sample scales, repeats and loss settings concurrently —
+# must exit cleanly.
 set -eux
 
 go build ./...
@@ -15,3 +18,16 @@ smoke="$(mktemp)"
 trap 'rm -f "$smoke"' EXIT
 go run ./cmd/zeiotbench -e e1 -seed 1 -json > "$smoke"
 diff -u testdata/e1_seed1.golden.json "$smoke"
+go run ./cmd/zeiotbench -e e7 -seed 1 -json > "$smoke"
+diff -u testdata/e7_seed1.golden.json "$smoke"
+
+# Mixed-config parallel smoke: per-run flags take comma lists matching -e,
+# so differently-configured experiments legally share one -parallel run.
+go run ./cmd/zeiotbench -e e1,e7 -parallel 2 -trainworkers 1,4 -samples 0.5,1 -repeats 1,2 -timings > /dev/null
+
+# The satellite bugfix: loss options without -loss must be an explicit
+# error (exit 2), not silently ignored.
+if go run ./cmd/zeiotbench -e e7 -lossretries 5 > /dev/null 2>&1; then
+    echo "zeiotbench accepted -lossretries without -loss" >&2
+    exit 1
+fi

@@ -7,10 +7,12 @@
 //	go test -run '^$' -bench . -benchmem . | benchjson -record "PR 3" -commit abc1234 > BENCH_pr3.json
 //
 // Standard value/unit pairs (ns/op, B/op, allocs/op) map to the top-level
-// ns_per_op / bytes_per_op / allocs_per_op fields; every other pair — the
-// custom b.ReportMetric keys the experiment benchmarks emit — lands in the
-// per-benchmark metrics map. goos/goarch/pkg/cpu header lines are carried
-// through verbatim.
+// ns_per_op / bytes_per_op / allocs_per_op fields; units ending in
+// _stage_sec — the per-stage wall times from Result.Timings that
+// benchExperiment republishes — land in the per-benchmark timings_sec map;
+// every other pair — the custom b.ReportMetric keys the experiment
+// benchmarks emit — lands in the per-benchmark metrics map.
+// goos/goarch/pkg/cpu header lines are carried through verbatim.
 package main
 
 import (
@@ -28,6 +30,7 @@ type benchmark struct {
 	Name       string             `json:"name"`
 	Iterations int                `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Timings    map[string]float64 `json:"timings_sec,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -117,6 +120,13 @@ func parseBenchLine(line string) (benchmark, bool) {
 		case "allocs/op":
 			b.AllocsOp = v
 		default:
+			if stage, ok := strings.CutSuffix(unit, "_stage_sec"); ok {
+				if b.Timings == nil {
+					b.Timings = make(map[string]float64)
+				}
+				b.Timings[stage] = v
+				continue
+			}
 			if b.Metrics == nil {
 				b.Metrics = make(map[string]float64)
 			}

@@ -7,16 +7,27 @@
 //	zeiotbench -seed 7         # change the root seed
 //	zeiotbench -parallel 4     # run up to 4 experiments concurrently
 //	zeiotbench -trainworkers 4 # CNN training workers (results unchanged)
+//	zeiotbench -samples 0.5    # scale dataset/trial sizes (quick sweeps)
+//	zeiotbench -repeats 5      # override accuracy-averaging repeat counts
 //	zeiotbench -loss 0.1       # lossy-link fault injection (e8/e11 gain loss dimensions)
+//	zeiotbench -timings        # keep per-stage wall times in the output
 //	zeiotbench -list           # list experiments
+//
+// The per-run flags -trainworkers, -samples, -repeats, -loss, -lossburst and
+// -lossretries also accept a comma-separated list matching the -e list, so
+// -parallel can legally run differently-configured experiments concurrently:
+//
+//	zeiotbench -e e1,e8 -parallel 2 -trainworkers 1,4 -loss 0,0.1
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +39,28 @@ func main() {
 	os.Exit(run())
 }
 
+// perRun parses a per-run flag value: a single value broadcasts to all n
+// runs, a comma-separated list must have exactly n entries.
+func perRun[T any](name, val string, n int, parse func(string) (T, error)) ([]T, error) {
+	parts := strings.Split(val, ",")
+	if len(parts) != 1 && len(parts) != n {
+		return nil, fmt.Errorf("-%s has %d values for %d experiments (give one value or one per -e entry)", name, len(parts), n)
+	}
+	out := make([]T, n)
+	for i := range out {
+		s := parts[0]
+		if len(parts) == n {
+			s = parts[i]
+		}
+		v, err := parse(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q: %v", name, s, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 func run() int {
 	var (
 		ids      = flag.String("e", "", "comma-separated experiment ids (default: all)")
@@ -35,25 +68,15 @@ func run() int {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonOut  = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		parallel = flag.Int("parallel", 1, "max experiments run concurrently (0 = NumCPU)")
-		trainW   = flag.Int("trainworkers", 0, "CNN training workers per experiment (0 = NumCPU); any value yields bit-identical results")
-		loss     = flag.Float64("loss", 0, "per-link drop probability for fault injection (0 = disabled; e8 gains a loss sweep, e11 charges retransmission energy)")
-		lossB    = flag.Bool("lossburst", false, "use Gilbert-Elliott burst loss instead of independent drops")
-		lossR    = flag.Int("lossretries", 3, "max retransmissions per hop for the reliable transport (0 = no retries)")
+		timings  = flag.Bool("timings", false, "keep per-stage wall times in the output (nondeterministic, so off by default)")
+		trainW   = flag.String("trainworkers", "0", "CNN training workers per experiment (0 = NumCPU); any value yields bit-identical results")
+		samples  = flag.String("samples", "1", "sample-count scale: multiplies dataset/trial sizes (1 = paper defaults)")
+		repeats  = flag.String("repeats", "0", "accuracy-averaging repeats (0 = experiment default)")
+		loss     = flag.String("loss", "0", "per-link drop probability for fault injection (0 = disabled; e8 gains a loss sweep, e11 charges retransmission energy)")
+		lossB    = flag.String("lossburst", "false", "use Gilbert-Elliott burst loss instead of independent drops")
+		lossR    = flag.String("lossretries", "3", "max retransmissions per hop for the reliable transport (0 = no retries)")
 	)
 	flag.Parse()
-	zeiot.SetTrainWorkers(*trainW)
-	if *loss < 0 || *loss > 1 {
-		fmt.Fprintln(os.Stderr, "zeiotbench: -loss must be in [0, 1]")
-		return 2
-	}
-	if *loss > 0 {
-		cfg := zeiot.DefaultLossConfig()
-		cfg.Enabled = true
-		cfg.DropProb = *loss
-		cfg.Burst = *lossB
-		cfg.MaxRetries = *lossR
-		zeiot.SetLossConfig(cfg)
-	}
 
 	if *list {
 		for _, e := range zeiot.Experiments() {
@@ -76,7 +99,92 @@ func run() int {
 		}
 	}
 
-	workers := *parallel
+	n := len(selected)
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "zeiotbench: %v\n", err)
+		return 2
+	}
+	twVals, err := perRun("trainworkers", *trainW, n, strconv.Atoi)
+	if err != nil {
+		return fail(err)
+	}
+	scVals, err := perRun("samples", *samples, n, parseFloat)
+	if err != nil {
+		return fail(err)
+	}
+	rpVals, err := perRun("repeats", *repeats, n, strconv.Atoi)
+	if err != nil {
+		return fail(err)
+	}
+	lossVals, err := perRun("loss", *loss, n, parseFloat)
+	if err != nil {
+		return fail(err)
+	}
+	lbVals, err := perRun("lossburst", *lossB, n, strconv.ParseBool)
+	if err != nil {
+		return fail(err)
+	}
+	lrVals, err := perRun("lossretries", *lossR, n, strconv.Atoi)
+	if err != nil {
+		return fail(err)
+	}
+	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, twVals, scVals, rpVals, lossVals, lbVals, lrVals)
+}
+
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings bool,
+	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int) int {
+
+	// Loss options explicitly passed while every run has -loss 0 would be
+	// silently dead; surface them so RunConfig.Validate rejects the combination.
+	var lossBurstSet, lossRetriesSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "lossburst":
+			lossBurstSet = true
+		case "lossretries":
+			lossRetriesSet = true
+		}
+	})
+	anyLoss := false
+	for _, v := range lossVals {
+		if v > 0 {
+			anyLoss = true
+		}
+	}
+
+	cfgs := make([]*zeiot.RunConfig, len(selected))
+	for i := range selected {
+		rc := zeiot.DefaultRunConfig()
+		rc.Seed = seed
+		rc.TrainWorkers = twVals[i]
+		rc.SampleScale = scVals[i]
+		rc.Repeats = rpVals[i]
+		if lossVals[i] > 0 {
+			lc := zeiot.DefaultLossConfig()
+			lc.Enabled = true
+			lc.DropProb = lossVals[i]
+			lc.Burst = lbVals[i]
+			lc.MaxRetries = lrVals[i]
+			rc.Loss = lc
+		} else if !anyLoss {
+			if lossBurstSet {
+				rc.Loss.Burst = lbVals[i]
+			}
+			if lossRetriesSet {
+				rc.Loss.MaxRetries = lrVals[i]
+			}
+			rc.Loss.DropProb = lossVals[i]
+		}
+		if err := rc.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "zeiotbench: %s: %v\n", selected[i].ID, err)
+			return 2
+		}
+		cfgs[i] = rc
+	}
+
+	workers := parallel
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -84,9 +192,11 @@ func run() int {
 		workers = len(selected)
 	}
 
-	// Each experiment derives its own rng stream from the root seed, so
-	// running them concurrently cannot change any result — only the wall
-	// clock. Results are collected per index and printed in order.
+	// Each run owns its RunConfig and derives every rng stream from the root
+	// seed, so running experiments concurrently — even with different
+	// configs — cannot change any result, only the wall clock. Results are
+	// collected per index and printed in order.
+	ctx := context.Background()
 	results := make([]*zeiot.Result, len(selected))
 	durations := make([]time.Duration, len(selected))
 	errs := make([]error, len(selected))
@@ -99,7 +209,7 @@ func run() int {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			results[i], errs[i] = e.Run(*seed)
+			results[i], errs[i] = e.Run(ctx, cfgs[i])
 			durations[i] = time.Since(start)
 		}(i, e)
 	}
@@ -113,7 +223,12 @@ func run() int {
 			failed++
 			continue
 		}
-		if *jsonOut {
+		// Timings are the one nondeterministic Result field; strip them
+		// unless asked so -json output diffs byte-for-byte across runs.
+		if !timings {
+			results[i].Timings = nil
+		}
+		if jsonOut {
 			jsonResults = append(jsonResults, results[i])
 			continue
 		}
@@ -121,9 +236,9 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		fmt.Printf("(%s in %s)\n\n", e.ID, durations[i].Round(time.Millisecond))
+		fmt.Printf("(%s in %s%s)\n\n", e.ID, durations[i].Round(time.Millisecond), stageSummary(results[i].Timings))
 	}
-	if *jsonOut {
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonResults); err != nil {
@@ -135,4 +250,23 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// stageSummary renders per-stage timings as "; dataset 12ms, train 340ms"
+// for the table footer, or "" when timings were stripped.
+func stageSummary(t zeiot.Timings) string {
+	if len(t) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, s := range t.Stages() {
+		if s == zeiot.StageTotal {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", s, t[s].Round(time.Millisecond)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "; " + strings.Join(parts, ", ")
 }

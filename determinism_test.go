@@ -1,6 +1,7 @@
 package zeiot_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -92,19 +93,19 @@ func TestE8LossSweepDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains the lounge CNN twice")
 	}
-	cfg := zeiot.DefaultLossConfig()
-	cfg.Enabled = true
-	zeiot.SetLossConfig(cfg)
-	defer zeiot.SetLossConfig(zeiot.LossConfig{})
-	defer zeiot.SetTrainWorkers(0)
+	lc := zeiot.DefaultLossConfig()
+	lc.Enabled = true
+	base := &zeiot.RunConfig{Seed: 1, Loss: lc}
+	serial := base.Clone()
+	serial.TrainWorkers = 1
+	par := base.Clone()
+	par.TrainWorkers = 4
 
-	zeiot.SetTrainWorkers(1)
-	a, err := zeiot.RunE8Resilience(1)
+	a, err := zeiot.RunE8Resilience(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zeiot.SetTrainWorkers(4)
-	b, err := zeiot.RunE8Resilience(1)
+	b, err := zeiot.RunE8Resilience(context.Background(), par)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,8 +14,12 @@ import (
 // (Fig. 2(a), refs [60][61]): movement-direction estimation accuracy from
 // backscatter phase and RF-Kinect-style tag tracking error over walking
 // paths and an arm-raise gesture.
-func RunE10RFIDTracking(seed uint64) (*Result, error) {
-	root := rng.New(seed)
+func RunE10RFIDTracking(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(h.cfg.Seed)
 	readers := []rfid.Reader{
 		rfid.UHFReader(geom.Point{X: 0, Y: 0}),
 		rfid.UHFReader(geom.Point{X: 6, Y: 0}),
@@ -25,9 +30,12 @@ func RunE10RFIDTracking(seed uint64) (*Result, error) {
 	// Direction estimation over radial walks relative to the observing
 	// reader (direction is a per-reader radial notion).
 	dirStream := root.Split("direction")
-	const dirTrials = 150
+	dirTrials := h.cfg.scaled(150)
 	correct := 0
 	for trial := 0; trial < dirTrials; trial++ {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := readers[trial%len(readers)]
 		bearing := dirStream.Float64() * 2 * math.Pi
 		unit := geom.Point{X: math.Cos(bearing), Y: math.Sin(bearing)}
@@ -53,12 +61,17 @@ func RunE10RFIDTracking(seed uint64) (*Result, error) {
 			correct++
 		}
 	}
-	dirAcc := float64(correct) / dirTrials
+	dirAcc := float64(correct) / float64(dirTrials)
+	h.mark(StageEval)
 
 	// Walking-path tracking error.
 	trackStream := root.Split("track")
 	meanErr, maxErr, n := 0.0, 0.0, 0
-	for trial := 0; trial < 5; trial++ {
+	trackTrials := h.cfg.scaled(5)
+	for trial := 0; trial < trackTrials; trial++ {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		truth := geom.Point{X: 1.5 + trackStream.Float64()*2, Y: 1.5 + trackStream.Float64()*2}
 		tracker, err := rfid.NewTracker(readers, truth)
 		if err != nil {
@@ -90,6 +103,7 @@ func RunE10RFIDTracking(seed uint64) (*Result, error) {
 		}
 	}
 	meanErr /= float64(n)
+	h.mark(StageEval)
 
 	// Arm-raise gesture: final limb-angle error.
 	skelStream := root.Split("skeleton")
@@ -135,5 +149,6 @@ func RunE10RFIDTracking(seed uint64) (*Result, error) {
 		},
 		Notes: "4 UHF readers, λ=0.327 m, 0.1 rad phase noise; tracking from a known start pose",
 	}
-	return res, nil
+	h.mark(StageEval)
+	return h.finish(res), nil
 }

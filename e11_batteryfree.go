@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,12 @@ import (
 // harvested power budget to get the energy-sustainable sampling rate at
 // the bottleneck node, and intersect it with the TDMA schedule's latency
 // bound (internal/schedule) to get the achievable end-to-end rate.
-func RunE11BatteryFree(seed uint64) (*Result, error) {
+func RunE11BatteryFree(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	root := rng.New(seed)
 	net := loungeNet(root.Split("net"))
 	w := loungeWSN()
@@ -52,6 +58,7 @@ func RunE11BatteryFree(seed uint64) (*Result, error) {
 			maxScalars = tr.Scalars
 		}
 	}
+	h.mark(StageCharge)
 
 	const (
 		bitsPerScalar = 32
@@ -110,13 +117,14 @@ func RunE11BatteryFree(seed uint64) (*Result, error) {
 	})
 	res.Notes = fmt.Sprintf("100 µW harvest/node, %d-slot TDMA round on 4 channels, bottleneck node moves %d scalars/sample, hosts %d units",
 		sched.Slots, maxCost, maxUnits)
+	h.mark(StageEval)
 
 	// Lossy-link dimension (only with fault injection enabled): replay the
 	// forward plan through the reliable transport and put the actual
 	// per-attempt traffic — retransmissions included — on the same harvest
 	// budget, so the energy-bound sampling rate reflects what marginal
 	// backscatter links really cost.
-	if lc := CurrentLossConfig(); lc.Enabled {
+	if lc := h.cfg.Loss; lc.Enabled {
 		w.ResetCounters()
 		fm := faultModelFor(seed, lc.DropProb, lc.Burst)
 		st, err := microdeep.ChargeForwardReliable(model.Graph, model.Assign, w, fm, retryPolicyFor(lc.MaxRetries))
@@ -144,6 +152,7 @@ func RunE11BatteryFree(seed uint64) (*Result, error) {
 		})
 		res.Notes += fmt.Sprintf("; loss rows: %.0f%% per-link drops, ≤%d retries/hop, bottleneck moves %d scalars/sample (%d/%d transfers lost, %d retransmissions)",
 			100*lc.DropProb, lc.MaxRetries, lossyMax, st.Lost, st.Transfers, st.Retries)
+		h.mark(StageEval)
 	}
-	return res, nil
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/csi"
@@ -16,8 +17,12 @@ import (
 // handwriting recognition over tracked tag trajectories (ref [38]),
 // Printed Wi-Fi's battery-free flow metering (ref [36]), and Electronic
 // Frog Eye's PEM-based crowd estimation from CSI variation (ref [29]).
-func RunE12SurveySensing(seed uint64) (*Result, error) {
-	root := rng.New(seed)
+func RunE12SurveySensing(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(h.cfg.Seed)
 	res := &Result{
 		ID:         "e12",
 		Title:      "Survey sensing: Motion-Fi rep counting and PEM crowd counting",
@@ -77,15 +82,17 @@ func RunE12SurveySensing(seed uint64) (*Result, error) {
 	)
 	res.Summary["multi_a"] = float64(ca)
 	res.Summary["multi_b"] = float64(cb)
+	h.mark(StageEval)
 
 	// Word-Fi: handwriting letters from tracked backscatter trajectories.
 	wfCfg := wordfi.DefaultConfig()
 	wfStream := root.Split("wordfi")
-	recognizer, err := wordfi.Train(wfCfg, 8, wfStream.Split("train"))
+	recognizer, err := wordfi.Train(wfCfg, h.cfg.scaled(8), wfStream.Split("train"))
 	if err != nil {
 		return nil, err
 	}
-	wfAcc, err := recognizer.Evaluate(5, wfStream.Split("eval"))
+	h.mark(StageTrain)
+	wfAcc, err := recognizer.Evaluate(h.cfg.scaled(5), wfStream.Split("eval"))
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +108,7 @@ func RunE12SurveySensing(seed uint64) (*Result, error) {
 		return nil, err
 	}
 	flowStream := root.Split("flow")
-	flow := make([]float64, 2000)
+	flow := make([]float64, h.cfg.scaled(2000))
 	trueVolume := 0.0
 	for i := range flow {
 		flow[i] = 0.004 + 0.003*flowStream.Float64()
@@ -116,27 +123,35 @@ func RunE12SurveySensing(seed uint64) (*Result, error) {
 		fmt.Sprintf("%+.1f%%", 100*flowErr),
 	})
 	res.Summary["flow_rel_err"] = flowErr
+	h.mark(StageEval)
 
 	// Electronic Frog Eye: PEM crowd estimation. Single-link PEM saturates
 	// once several people move, so the reliable deliverable is the
 	// three-level congestion class (empty / sparse / busy).
 	crowdStream := root.Split("crowd")
 	cfg := csi.DefaultCrowdConfig()
-	counter, err := csi.CalibrateCrowd(cfg, 10, 8, crowdStream.Split("cal"))
+	counter, err := csi.CalibrateCrowd(cfg, 10, h.cfg.scaled(8), crowdStream.Split("cal"))
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageTrain)
 	correct, trials := 0, 0
+	repeats := h.cfg.repeatsOr(8)
 	for n := 0; n <= 10; n += 2 {
 		hits := 0
-		const repeats = 8
-		for r := 0; r < repeats; r++ {
+		// The per-count repeat loop rides the shared averaging helper; the
+		// split names keep the historical eval-<count>-<round> derivation.
+		if _, err := h.averageOver(repeats, func(r int) (float64, error) {
 			got := counter.CountLevel(n, 3, crowdStream.Split(fmt.Sprintf("eval-%d-%d", n, r)))
-			if got == csi.LevelForCount(n) {
-				hits++
-				correct++
-			}
 			trials++
+			if got != csi.LevelForCount(n) {
+				return 0, nil
+			}
+			hits++
+			correct++
+			return 1, nil
+		}); err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("crowd: %d people", n), csi.LevelForCount(n).String(),
@@ -148,5 +163,6 @@ func RunE12SurveySensing(seed uint64) (*Result, error) {
 	res.Summary["motion_exact"] = float64(exact) / float64(total)
 	res.Rows = append(res.Rows, []string{"crowd: overall level accuracy", "", pct(crowdAcc), ""})
 	res.Notes = "Motion-Fi: 50–200 Hz RSSI, autocorrelation counting; Word-Fi: 4-reader phase tracking; Printed Wi-Fi: 0.25 L/toggle gear; Frog Eye: 52-subcarrier PEM"
-	return res, nil
+	h.mark(StageEval)
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/har"
@@ -15,17 +16,25 @@ import (
 // the activity. The paper sketches this qualitatively ("several types of
 // ultra-low power accelerometers using environmental power"); we build and
 // score it.
-func RunE13AthleteHAR(seed uint64) (*Result, error) {
+func RunE13AthleteHAR(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	root := rng.New(seed)
 	cfg := har.DefaultConfig()
-	recognizer, err := har.Train(cfg, 16, root.Split("train"))
+	evalWindows := h.cfg.scaled(12)
+	recognizer, err := har.Train(cfg, h.cfg.scaled(16), root.Split("train"))
 	if err != nil {
 		return nil, err
 	}
-	cm, err := recognizer.Evaluate(12, root.Split("eval"))
+	h.mark(StageTrain)
+	cm, err := recognizer.Evaluate(evalWindows, root.Split("eval"))
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageEval)
 	res := &Result{
 		ID:         "e13",
 		Title:      "Athlete activity recognition on zero-energy resonator bank",
@@ -35,8 +44,8 @@ func RunE13AthleteHAR(seed uint64) (*Result, error) {
 			"accuracy": cm.Accuracy(),
 			"macro_f1": cm.MacroF1(),
 		},
-		Notes: fmt.Sprintf("%d-resonator bank (%v Hz), %d s windows, k-NN on chatter rates; 12 test windows per class",
-			len(cfg.BankHz), cfg.BankHz, int(cfg.WindowSec)),
+		Notes: fmt.Sprintf("%d-resonator bank (%v Hz), %d s windows, k-NN on chatter rates; %d test windows per class",
+			len(cfg.BankHz), cfg.BankHz, int(cfg.WindowSec), evalWindows),
 	}
 	for a := 0; a < har.NumActivities(); a++ {
 		_, recall := cm.PrecisionRecall(a)
@@ -49,10 +58,11 @@ func RunE13AthleteHAR(seed uint64) (*Result, error) {
 	)
 
 	// Ablation: classifier family over the same chatter-rate features.
-	abl, err := har.GenerateDataset(cfg, 20, root.Split("ablation"))
+	abl, err := har.GenerateDataset(cfg, h.cfg.scaled(20), root.Split("ablation"))
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageDataset)
 	for _, clf := range []struct {
 		name    string
 		trainer ml.Trainer
@@ -62,6 +72,9 @@ func RunE13AthleteHAR(seed uint64) (*Result, error) {
 		{"random-forest", ml.Forest{Trees: 30, MaxDepth: 8, Seed: seed}},
 		{"gaussian-nb", ml.GaussianNB{}},
 	} {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		acm, err := ml.CrossValidate(clf.trainer, abl, 5, root.Split("cv-"+clf.name))
 		if err != nil {
 			return nil, err
@@ -69,5 +82,6 @@ func RunE13AthleteHAR(seed uint64) (*Result, error) {
 		res.Rows = append(res.Rows, []string{"ablation " + clf.name, pct(acm.Accuracy()), f3(acm.MacroF1())})
 		res.Summary["abl_"+sanitizeKey(clf.name)] = acm.Accuracy()
 	}
-	return res, nil
+	h.mark(StageEval)
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/intrusion"
@@ -12,14 +13,21 @@ import (
 // the CNN-over-UWB approach of ref. [46]: range–time radar maps where gait
 // frequency and body extent separate bipeds from quadrupeds, classified by
 // the same CNN family MicroDeep distributes.
-func RunE14Intrusion(seed uint64) (*Result, error) {
-	root := rng.New(seed)
-	cfg := intrusion.DefaultConfig()
-	cfg.Seed = seed
-	acc, recall, err := intrusion.TrainAndEvaluate(cfg, 60, 8, root)
+func RunE14Intrusion(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
 	if err != nil {
 		return nil, err
 	}
+	seed := h.cfg.Seed
+	root := rng.New(seed)
+	cfg := intrusion.DefaultConfig()
+	cfg.Seed = seed
+	mapsPerClass := h.cfg.scaled(60)
+	acc, recall, err := intrusion.TrainAndEvaluate(cfg, mapsPerClass, 8, root)
+	if err != nil {
+		return nil, err
+	}
+	h.mark(StageTrain)
 	res := &Result{
 		ID:         "e14",
 		Title:      "Animal intrusion detection: CNN on range-time maps",
@@ -31,12 +39,13 @@ func RunE14Intrusion(seed uint64) (*Result, error) {
 			"recall_human":  recall[intrusion.ClassHuman],
 			"recall_animal": recall[intrusion.ClassAnimal],
 		},
-		Notes: fmt.Sprintf("%d×%d range-time maps at %g Hz, 60 maps/class, CNN = conv+pool+2 dense",
-			cfg.RangeBins, cfg.Frames, cfg.FrameHz),
+		Notes: fmt.Sprintf("%d×%d range-time maps at %g Hz, %d maps/class, CNN = conv+pool+2 dense",
+			cfg.RangeBins, cfg.Frames, cfg.FrameHz, mapsPerClass),
 	}
 	for c := 0; c < intrusion.NumClasses(); c++ {
 		res.Rows = append(res.Rows, []string{intrusion.Class(c).String(), pct(recall[c])})
 	}
 	res.Rows = append(res.Rows, []string{"overall accuracy", pct(acc)})
-	return res, nil
+	h.mark(StageEval)
+	return h.finish(res), nil
 }

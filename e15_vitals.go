@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,8 +15,12 @@ import (
 // paper cites RF-ECG qualitatively; we score rate errors over a range of
 // subjects and compare the tag array against a single tag under a noisy
 // reader.
-func RunE15Vitals(seed uint64) (*Result, error) {
-	root := rng.New(seed)
+func RunE15Vitals(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(h.cfg.Seed)
 	cfg := vitals.DefaultConfig()
 
 	subjects := []vitals.Subject{
@@ -33,8 +38,11 @@ func RunE15Vitals(seed uint64) (*Result, error) {
 	}
 	heartErrSum, breathErrSum, ok := 0.0, 0.0, 0
 	stream := root.Split("subjects")
+	trials := h.cfg.scaled(5)
 	for i, s := range subjects {
-		const trials = 5
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		hErr, bErr := 0.0, 0.0
 		var lastH, lastB float64
 		good := 0
@@ -72,7 +80,8 @@ func RunE15Vitals(seed uint64) (*Result, error) {
 	res.Rows = append(res.Rows, []string{
 		"mean error", fmt.Sprintf("±%.1f bpm", meanHeartBPM), fmt.Sprintf("±%.1f /min", meanBreathBPM), "",
 	})
-	res.Notes = fmt.Sprintf("%d-tag chest array, %g Hz interrogation, %g s windows, 5 windows per subject",
-		cfg.Tags, cfg.SampleHz, cfg.WindowSec)
-	return res, nil
+	res.Notes = fmt.Sprintf("%d-tag chest array, %g Hz interrogation, %g s windows, %d windows per subject",
+		cfg.Tags, cfg.SampleHz, cfg.WindowSec, trials)
+	h.mark(StageEval)
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/cnn"
@@ -16,11 +17,17 @@ import (
 // with the heuristic balanced assignment and local weight updates.
 // The paper reports 91.875% vs 89.7275% accuracy and max communication
 // cost 360 vs 210 (−40%).
-func RunE1FallCommCost(seed uint64) (*Result, error) {
+func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	root := rng.New(seed)
 	cfg := dataset.DefaultGaitConfig()
 	cfg.Seed = seed
 	cfg.NoiseLevel = 0.55 // sensor noise keeps the task non-trivial, as on the real film array
+	cfg.Streams = h.cfg.scaled(cfg.Streams)
 	streams, err := dataset.GenerateGaitStreams(cfg)
 	if err != nil {
 		return nil, err
@@ -28,27 +35,38 @@ func RunE1FallCommCost(seed uint64) (*Result, error) {
 	samples := dataset.BalancedWindows(cfg, streams, 1.0, root.Split("balance"))
 	cut := len(samples) * 3 / 4
 	train, test := samples[:cut], samples[cut:]
+	h.mark(StageDataset)
 
 	w := wsn.NewGrid(cfg.Rows, cfg.Cols, 1)
+	repeats := h.cfg.repeatsOr(1)
 
 	// (a) optimal parameter set: bigger CNN, coordinate assignment,
 	// synchronized (exact) training.
-	sOpt := root.Split("optimal")
-	optimal := cnn.NewNetwork([]int{cfg.WindowFrames, cfg.Rows, cfg.Cols},
-		cnn.NewConv2D(cfg.WindowFrames, 8, 3, 3, 1, 1, sOpt.Split("c")),
-		cnn.NewReLU(),
-		cnn.NewMaxPool2D(2, 2),
-		cnn.NewFlatten(),
-		cnn.NewDense(8*4*4, 32, sOpt.Split("d1")),
-		cnn.NewReLU(),
-		cnn.NewDense(32, 2, sOpt.Split("d2")),
-	)
-	mOpt, err := microdeep.Build(optimal, w, microdeep.StrategyCoordinate)
+	var mOpt *microdeep.Model
+	accOpt, err := h.trainAveraged(root, "optimal", repeats, func(sOpt *rng.Stream) (float64, error) {
+		optimal := cnn.NewNetwork([]int{cfg.WindowFrames, cfg.Rows, cfg.Cols},
+			cnn.NewConv2D(cfg.WindowFrames, 8, 3, 3, 1, 1, sOpt.Split("c")),
+			cnn.NewReLU(),
+			cnn.NewMaxPool2D(2, 2),
+			cnn.NewFlatten(),
+			cnn.NewDense(8*4*4, 32, sOpt.Split("d1")),
+			cnn.NewReLU(),
+			cnn.NewDense(32, 2, sOpt.Split("d2")),
+		)
+		m, err := microdeep.Build(optimal, w, microdeep.StrategyCoordinate)
+		if err != nil {
+			return 0, err
+		}
+		m.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sOpt.Split("fit"))
+		h.mark(StageTrain)
+		mOpt = m
+		acc := m.Evaluate(test)
+		h.mark(StageEval)
+		return acc, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	mOpt.FitParallel(train, 8, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sOpt.Split("fit"))
-	accOpt := mOpt.Evaluate(test)
 	// The Fig. 10 cost counts the per-sample forward+backward traffic;
 	// weight-synchronization traffic is per training step and reported
 	// separately below.
@@ -60,30 +78,41 @@ func RunE1FallCommCost(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageCharge)
 
 	// (b) feasible parameter set: WSN-sized CNN, balanced heuristic,
 	// local weight updates (no kernel synchronization traffic).
-	sFea := root.Split("feasible")
-	feasible := cnn.NewNetwork([]int{cfg.WindowFrames, cfg.Rows, cfg.Cols},
-		cnn.NewConv2D(cfg.WindowFrames, 6, 3, 3, 1, 1, sFea.Split("c")),
-		cnn.NewReLU(),
-		cnn.NewMaxPool2D(2, 2),
-		cnn.NewFlatten(),
-		cnn.NewDense(6*4*4, 24, sFea.Split("d1")),
-		cnn.NewReLU(),
-		cnn.NewDense(24, 2, sFea.Split("d2")),
-	)
-	mFea, err := microdeep.Build(feasible, w, microdeep.StrategyBalanced)
+	var mFea *microdeep.Model
+	accFea, err := h.trainAveraged(root, "feasible", repeats, func(sFea *rng.Stream) (float64, error) {
+		feasible := cnn.NewNetwork([]int{cfg.WindowFrames, cfg.Rows, cfg.Cols},
+			cnn.NewConv2D(cfg.WindowFrames, 6, 3, 3, 1, 1, sFea.Split("c")),
+			cnn.NewReLU(),
+			cnn.NewMaxPool2D(2, 2),
+			cnn.NewFlatten(),
+			cnn.NewDense(6*4*4, 24, sFea.Split("d1")),
+			cnn.NewReLU(),
+			cnn.NewDense(24, 2, sFea.Split("d2")),
+		)
+		m, err := microdeep.Build(feasible, w, microdeep.StrategyBalanced)
+		if err != nil {
+			return 0, err
+		}
+		m.EnableLocalUpdate()
+		m.FitParallel(train, 12, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sFea.Split("fit"))
+		h.mark(StageTrain)
+		mFea = m
+		acc := m.Evaluate(test)
+		h.mark(StageEval)
+		return acc, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	mFea.EnableLocalUpdate()
-	mFea.FitParallel(train, 12, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sFea.Split("fit"))
-	accFea := mFea.Evaluate(test)
 	costFea, err := mFea.CostPerSample(false)
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageCharge)
 
 	reduction := 1 - float64(costFea.Max)/float64(costOpt.Max)
 	res := &Result{
@@ -120,5 +149,5 @@ func RunE1FallCommCost(seed uint64) (*Result, error) {
 		[]string{"(b) local updates / step", "", fi(costFea.Max), "", fi(costFea.Total), ""},
 	)
 	res.Summary["sync_max_cost_opt"] = float64(syncOpt.Max)
-	return res, nil
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/cnn"
@@ -30,19 +31,29 @@ func loungeWSN() *wsn.Network {
 }
 
 // e2Samples bounds the default run for benchmark-friendly runtimes while
-// keeping the paper's data shape; pass the full 2,961 via cfg if desired.
+// keeping the paper's data shape; RunConfig.SampleScale moves it (the full
+// paper campaign is 2,961).
 const e2Samples = 1200
+
+// e2Repeats is the default accuracy-averaging repeat count: single runs of
+// an 8-epoch SGD swing by a few points, more than the effect size.
+const e2Repeats = 3
 
 // RunE2Lounge regenerates the §IV.C lounge experiment: discomfort
 // detection over the 25×17-cell field, MicroDeep (balanced assignment +
 // local weight updates on 50 nodes) against the standard centralized CNN.
 // The paper reports ~95% vs 97% accuracy with MicroDeep's peak per-node
 // traffic at 13% of the centralized version.
-func RunE2Lounge(seed uint64) (*Result, error) {
+func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	root := rng.New(seed)
 	cfg := dataset.DefaultLoungeConfig()
 	cfg.Seed = seed
-	cfg.Samples = e2Samples
+	cfg.Samples = h.cfg.scaled(e2Samples)
 	cfg.NoiseC = 0.75 // realistic sensor noise keeps accuracies off the ceiling
 	samples, err := dataset.GenerateLounge(cfg)
 	if err != nil {
@@ -50,37 +61,42 @@ func RunE2Lounge(seed uint64) (*Result, error) {
 	}
 	cut := len(samples) * 3 / 4
 	train, test := samples[:cut], samples[cut:]
+	h.mark(StageDataset)
 
-	// Accuracies are averaged over three training seeds: single runs of
-	// an 8-epoch SGD swing by a few points, more than the effect size.
-	const repeats = 3
-	accStd := 0.0
-	for r := 0; r < repeats; r++ {
-		sStd := root.Split(fmt.Sprintf("std-%d", r))
+	repeats := h.cfg.repeatsOr(e2Repeats)
+	accStd, err := h.trainAveraged(root, "std", repeats, func(sStd *rng.Stream) (float64, error) {
 		standard := loungeNet(sStd)
-		standard.FitParallel(train, 8, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
-		accStd += standard.Evaluate(test)
+		standard.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
+		h.mark(StageTrain)
+		acc := standard.Evaluate(test)
+		h.mark(StageEval)
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	accStd /= repeats
 
 	// MicroDeep: same architecture distributed over 50 nodes with the
 	// balanced heuristic and local weight updates.
 	w := loungeWSN()
-	accMD := 0.0
 	var md *microdeep.Model
-	for r := 0; r < repeats; r++ {
-		sMD := root.Split(fmt.Sprintf("microdeep-%d", r))
+	accMD, err := h.trainAveraged(root, "microdeep", repeats, func(sMD *rng.Stream) (float64, error) {
 		mdNet := loungeNet(sMD)
-		var err error
-		md, err = microdeep.Build(mdNet, w, microdeep.StrategyBalanced)
+		m, err := microdeep.Build(mdNet, w, microdeep.StrategyBalanced)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		md.EnableLocalUpdate()
-		md.FitParallel(train, 12, 16, TrainWorkers(), cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
-		accMD += md.Evaluate(test)
+		m.EnableLocalUpdate()
+		m.FitParallel(train, 12, 16, h.cfg.workers(), cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
+		h.mark(StageTrain)
+		md = m
+		acc := m.Evaluate(test)
+		h.mark(StageEval)
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	accMD /= repeats
 
 	// Peak-traffic comparison: the sensing pipeline runs a forward pass
 	// per sample, so MicroDeep's per-sample forward traffic is compared
@@ -118,6 +134,7 @@ func RunE2Lounge(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageCharge)
 
 	res := &Result{
 		ID:         "e2",
@@ -144,5 +161,5 @@ func RunE2Lounge(seed uint64) (*Result, error) {
 		Notes: fmt.Sprintf("%d of the paper's 2,961 samples (runtime bound), 50 nodes over 17×25 cells; replica divergence %.4f",
 			cfg.Samples, md.ReplicaDivergence()),
 	}
-	return res, nil
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/congestion"
@@ -12,15 +13,21 @@ import (
 // car-level positioning accuracy (paper: 83%) and three-level congestion
 // F-measure (paper: 0.82), from Bluetooth RSSI among phones plus per-car
 // reference nodes.
-func RunE3TrainCar(seed uint64) (*Result, error) {
-	root := rng.New(seed)
-	cfg := congestion.DefaultTrainConfig()
-	est, err := congestion.Calibrate(cfg, 12, root.Split("calibrate"))
+func RunE3TrainCar(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
 	if err != nil {
 		return nil, err
 	}
+	seed := h.cfg.Seed
+	root := rng.New(seed)
+	cfg := congestion.DefaultTrainConfig()
+	est, err := congestion.Calibrate(cfg, h.cfg.scaled(12), root.Split("calibrate"))
+	if err != nil {
+		return nil, err
+	}
+	h.mark(StageTrain)
 
-	const trials = 12
+	trials := h.cfg.scaled(12)
 	posCorrect, posTotal := 0, 0
 	carCM := ml.NewConfusionMatrix(3)
 	stream := root.Split("eval")
@@ -54,6 +61,7 @@ func RunE3TrainCar(seed uint64) (*Result, error) {
 		}
 	}
 	posAcc := float64(posCorrect) / float64(posTotal)
+	h.mark(StageEval)
 	res := &Result{
 		ID:         "e3",
 		Title:      "Train-car positioning and three-level congestion",
@@ -74,5 +82,5 @@ func RunE3TrainCar(seed uint64) (*Result, error) {
 		},
 		Notes: fmt.Sprintf("%d evaluation rides on a %d-car train, %d positioned users", trials, cfg.Cars, posTotal),
 	}
-	return res, nil
+	return h.finish(res), nil
 }

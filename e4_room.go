@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/congestion"
@@ -11,41 +12,51 @@ import (
 // [66]: people counting from the inter-node and surrounding RSSI of an
 // already-deployed 802.15.4 WSN. The paper reports ~79% accuracy with
 // errors up to two people.
-func RunE4RoomCount(seed uint64) (*Result, error) {
-	root := rng.New(seed)
-	cfg := congestion.DefaultRoomConfig()
-	est, err := congestion.TrainRoomEstimator(cfg, 60, root.Split("train"))
+func RunE4RoomCount(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
 	if err != nil {
 		return nil, err
 	}
-	full := congestion.EvaluateRoom(est, 25, root.Split("eval"))
+	root := rng.New(h.cfg.Seed)
+	trainTrials, evalTrials := h.cfg.scaled(60), h.cfg.scaled(25)
+	cfg := congestion.DefaultRoomConfig()
+	est, err := congestion.TrainRoomEstimator(cfg, trainTrials, root.Split("train"))
+	if err != nil {
+		return nil, err
+	}
+	h.mark(StageTrain)
+	full := congestion.EvaluateRoom(est, evalTrials, root.Split("eval"))
+	h.mark(StageEval)
 
 	// Ablation 1: single-sweep features (no synchronized averaging) show
 	// why Choco-style synchronized repeated measurement matters.
 	cfgOne := cfg
 	cfgOne.Sweeps = 1
-	estOne, err := congestion.TrainRoomEstimator(cfgOne, 60, root.Split("train1"))
+	estOne, err := congestion.TrainRoomEstimator(cfgOne, trainTrials, root.Split("train1"))
 	if err != nil {
 		return nil, err
 	}
-	one := congestion.EvaluateRoom(estOne, 25, root.Split("eval1"))
+	h.mark(StageTrain)
+	one := congestion.EvaluateRoom(estOne, evalTrials, root.Split("eval1"))
+	h.mark(StageEval)
 
 	// Ablation 2: the paper's two separate estimators — people from
 	// inter-node RSSI, devices from surrounding RSSI.
 	cfgLinks := cfg
 	cfgLinks.Mode = congestion.RoomLinksOnly
-	estLinks, err := congestion.TrainRoomEstimator(cfgLinks, 60, root.Split("trainL"))
+	estLinks, err := congestion.TrainRoomEstimator(cfgLinks, trainTrials, root.Split("trainL"))
 	if err != nil {
 		return nil, err
 	}
-	links := congestion.EvaluateRoom(estLinks, 25, root.Split("evalL"))
+	links := congestion.EvaluateRoom(estLinks, evalTrials, root.Split("evalL"))
 	cfgSur := cfg
 	cfgSur.Mode = congestion.RoomSurroundingOnly
-	estSur, err := congestion.TrainRoomEstimator(cfgSur, 60, root.Split("trainS"))
+	estSur, err := congestion.TrainRoomEstimator(cfgSur, trainTrials, root.Split("trainS"))
 	if err != nil {
 		return nil, err
 	}
-	sur := congestion.EvaluateRoom(estSur, 25, root.Split("evalS"))
+	sur := congestion.EvaluateRoom(estSur, evalTrials, root.Split("evalS"))
+	h.mark(StageEval)
 
 	res := &Result{
 		ID:         "e4",
@@ -67,7 +78,7 @@ func RunE4RoomCount(seed uint64) (*Result, error) {
 			"exact_acc_links": links.Exact,
 			"exact_acc_sur":   sur.Exact,
 		},
-		Notes: fmt.Sprintf("%d×%d node grid, 0..%d people, 25 trials per count", cfg.Rows, cfg.Cols, cfg.MaxPeople),
+		Notes: fmt.Sprintf("%d×%d node grid, 0..%d people, %d trials per count", cfg.Rows, cfg.Cols, cfg.MaxPeople, evalTrials),
 	}
-	return res, nil
+	return h.finish(res), nil
 }

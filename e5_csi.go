@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,10 +15,15 @@ import (
 // 624 compressed-beamforming-angle features, evaluated across six
 // behaviour × antenna-orientation patterns. The paper reports ~96%
 // accuracy for the walking/divergent pattern.
-func RunE5CSILocalization(seed uint64) (*Result, error) {
+func RunE5CSILocalization(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	root := rng.New(seed)
 	positions := csi.SevenPositions()
-	const samplesPerPosition = 32
+	samplesPerPosition := h.cfg.scaled(32)
 
 	res := &Result{
 		ID:         "e5",
@@ -42,10 +48,12 @@ func RunE5CSILocalization(seed uint64) (*Result, error) {
 				data.Y = append(data.Y, posIdx)
 			}
 		}
+		h.mark(StageDataset)
 		cm, err := ml.CrossValidate(ml.KNN{K: 3}, data, 4, stream.Split("cv"))
 		if err != nil {
 			return nil, err
 		}
+		h.mark(StageEval)
 		acc := cm.Accuracy()
 		res.Rows = append(res.Rows, []string{pattern.Name, pct(acc), fi(room.Feedback.NumFeatures())})
 		key := "acc_" + sanitizeKey(pattern.Name)
@@ -76,6 +84,7 @@ func RunE5CSILocalization(seed uint64) (*Result, error) {
 			abl.Y = append(abl.Y, posIdx)
 		}
 	}
+	h.mark(StageDataset)
 	for _, clf := range []struct {
 		name    string
 		trainer ml.Trainer
@@ -91,8 +100,9 @@ func RunE5CSILocalization(seed uint64) (*Result, error) {
 		res.Rows = append(res.Rows, []string{"ablation " + clf.name, pct(cm.Accuracy()), "624"})
 		res.Summary["abl_"+sanitizeKey(clf.name)] = cm.Accuracy()
 	}
+	h.mark(StageEval)
 	res.Notes = fmt.Sprintf("%d samples per position, 4-fold CV, k-NN over standardized angles; ablation on walk/divergent", samplesPerPosition)
-	return res, nil
+	return h.finish(res), nil
 }
 
 func sanitizeKey(s string) string {

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,8 +13,14 @@ import (
 // MAC keeps backscatter delivery high without hurting WLAN performance,
 // the uncoordinated baseline collides and corrupts WLAN frames, and
 // disabling dummy packets reproduces the stated low-traffic failure mode.
-func RunE6BackscatterMAC(seed uint64) (*Result, error) {
-	const duration = 8 * time.Second
+func RunE6BackscatterMAC(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
+	// SampleScale moves the simulated seconds per sweep cell.
+	duration := time.Duration(h.cfg.scaled(8)) * time.Second
 	loads := []float64{5, 25, 100, 400}
 	res := &Result{
 		ID:         "e6",
@@ -35,6 +42,9 @@ func RunE6BackscatterMAC(seed uint64) (*Result, error) {
 		{"aloha", func(c mac.Config) mac.Config { c.Mode = mac.ModeAloha; return c }},
 	}
 	for _, load := range loads {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, m := range modes {
 			cfg := mac.DefaultConfig()
 			cfg.NumDevices = 20
@@ -55,6 +65,7 @@ func RunE6BackscatterMAC(seed uint64) (*Result, error) {
 			res.Summary["retries_"+key] = float64(metrics.WLANRetries)
 		}
 	}
-	res.Notes = "20 devices on 100 ms cycles, 8 s per cell; delivery/collision/missed count completed cycles"
-	return res, nil
+	h.mark(StageEval)
+	res.Notes = fmt.Sprintf("20 devices on 100 ms cycles, %d s per cell; delivery/collision/missed count completed cycles", int(duration/time.Second))
+	return h.finish(res), nil
 }

@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/backscatter"
@@ -15,7 +16,12 @@ import (
 // consumption to about 1/10,000 (~10 µW)" and the BER/delivery-vs-distance
 // behaviour of the product channel behind "transmit and receive data in
 // several tens of meters".
-func RunE7LinkEnergy(seed uint64) (*Result, error) {
+func RunE7LinkEnergy(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	res := &Result{
 		ID:         "e7",
 		Title:      "Zero-energy link: energy per bit and range",
@@ -57,15 +63,15 @@ func RunE7LinkEnergy(seed uint64) (*Result, error) {
 	noise := radio.ThermalNoiseDBm(250e3, 6)
 	stream := rng.New(seed)
 	maxUsable := 0.0
+	draws := h.cfg.scaled(400)
 	for _, d := range []float64{1, 2, 4, 8, 16, 32, 64} {
 		delivered := 0
-		const draws = 400
 		for i := 0; i < draws; i++ {
 			if tag.TransmitPacket(d, d, d, 256, noise, 80, stream).Delivered {
 				delivered++
 			}
 		}
-		rate := float64(delivered) / draws
+		rate := float64(delivered) / float64(draws)
 		det := tag.TransmitPacket(d, d, d, 256, noise, 80, nil)
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("delivery @ %gm", d),
@@ -83,22 +89,23 @@ func RunE7LinkEnergy(seed uint64) (*Result, error) {
 	// The §IV.A rationale for ZigBee backscatter: DSSS spreading gain.
 	// Measure symbol error rates at chip level, spread vs unspread, under
 	// heavy noise and under a CW jammer.
+	serTrials := h.cfg.scaled(4000)
 	cb := phy.NewCodebook()
 	noisy := phy.Channel{NoiseStd: 2.0}
-	spreadSER, err := phy.SymbolErrorRate(cb, noisy, 4000, rng.New(seed+1))
+	spreadSER, err := phy.SymbolErrorRate(cb, noisy, serTrials, rng.New(seed+1))
 	if err != nil {
 		return nil, err
 	}
-	rawSER, err := phy.UnspreadErrorRate(noisy, 4000, rng.New(seed+2))
+	rawSER, err := phy.UnspreadErrorRate(noisy, serTrials, rng.New(seed+2))
 	if err != nil {
 		return nil, err
 	}
 	jammed := phy.Channel{NoiseStd: 0.3, InterfererAmp: 2.0, InterfererHz: 153e3, ChipRateHz: 2e6}
-	spreadJam, err := phy.SymbolErrorRate(cb, jammed, 4000, rng.New(seed+3))
+	spreadJam, err := phy.SymbolErrorRate(cb, jammed, serTrials, rng.New(seed+3))
 	if err != nil {
 		return nil, err
 	}
-	rawJam, err := phy.UnspreadErrorRate(jammed, 4000, rng.New(seed+4))
+	rawJam, err := phy.UnspreadErrorRate(jammed, serTrials, rng.New(seed+4))
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +117,7 @@ func RunE7LinkEnergy(seed uint64) (*Result, error) {
 	res.Summary["raw_ser_noise"] = rawSER
 	res.Summary["dsss_ser_jam"] = spreadJam
 	res.Summary["raw_ser_jam"] = rawJam
+	h.mark(StageEval)
 	res.Notes = "tag equidistant from carrier source and receiver; 256-bit packets, 80 dB carrier cancellation; DSSS = 32-chip/16-symbol correlation receiver"
-	return res, nil
+	return h.finish(res), nil
 }

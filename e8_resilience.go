@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,11 +28,16 @@ import (
 // measuring accuracy and peak per-sample comm cost with the reliable
 // transport's retries on and off. Undelivered transfers degrade gracefully
 // to zero inputs at the consuming site.
-func RunE8Resilience(seed uint64) (*Result, error) {
+func RunE8Resilience(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	seed := h.cfg.Seed
 	root := rng.New(seed)
 	cfg := dataset.DefaultLoungeConfig()
 	cfg.Seed = seed
-	cfg.Samples = 700
+	cfg.Samples = h.cfg.scaled(700)
 	cfg.NoiseC = 0.8
 	samples, err := dataset.GenerateLounge(cfg)
 	if err != nil {
@@ -39,6 +45,7 @@ func RunE8Resilience(seed uint64) (*Result, error) {
 	}
 	cut := len(samples) * 3 / 4
 	train, test := samples[:cut], samples[cut:]
+	h.mark(StageDataset)
 
 	sNet := root.Split("net")
 	net := loungeNet(sNet)
@@ -47,7 +54,8 @@ func RunE8Resilience(seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	model.FitParallel(train, 6, 16, TrainWorkers(), cnn.NewSGD(0.02, 0.9), sNet.Split("fit"))
+	model.FitParallel(train, 6, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sNet.Split("fit"))
+	h.mark(StageTrain)
 
 	evaluate := func(assign *microdeep.Assignment, dead map[int]bool, deadSites map[int]bool) (float64, error) {
 		ex := microdeep.NewExecutor(model.Graph)
@@ -103,6 +111,9 @@ func RunE8Resilience(seed uint64) (*Result, error) {
 	}
 	fractions := []float64{0, 0.05, 0.1, 0.2, 0.3}
 	for _, frac := range fractions {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		k := int(frac * float64(w.NumNodes()))
 		asIsSum, reassignedSum := 0.0, 0.0
 		for _, corner := range corners {
@@ -157,6 +168,7 @@ func RunE8Resilience(seed uint64) (*Result, error) {
 		res.Summary[fmt.Sprintf("acc_reassigned_%.0f", 100*frac)] = reassigned
 	}
 	res.Notes = fmt.Sprintf("%d-node WSN, %d test samples, averaged over 4 failure corners; reassignment recomputes the balanced placement on survivors", w.NumNodes(), len(test))
+	h.mark(StageEval)
 
 	// Loss-rate sweep (only with fault injection enabled, so the default
 	// run stays byte-identical to the loss-free implementation): the same
@@ -165,7 +177,7 @@ func RunE8Resilience(seed uint64) (*Result, error) {
 	// the graceful degradation of zeroed undelivered inputs; the peak
 	// per-node comm cost per sample counts every transmission attempt, so
 	// retries buy accuracy with visible energy.
-	if lc := CurrentLossConfig(); lc.Enabled {
+	if lc := h.cfg.Loss; lc.Enabled {
 		evaluateLossy := func(rate float64, retries int) (float64, float64, error) {
 			wLoss := loungeWSN()
 			ex := microdeep.NewExecutor(model.Graph)
@@ -213,8 +225,9 @@ func RunE8Resilience(seed uint64) (*Result, error) {
 			mode = "Gilbert-Elliott bursts"
 		}
 		res.Notes += fmt.Sprintf("; loss sweep: %s, reliable transport with ≤%d retries/hop vs none, loss rows read (acc retry, acc no-retry, peak cost/sample)", mode, lc.MaxRetries)
+		h.mark(StageEval)
 	}
-	return res, nil
+	return h.finish(res), nil
 }
 
 // fieldCorners returns the bounding box of the node field.

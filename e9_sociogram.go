@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 
 	"zeiot/internal/rng"
@@ -12,13 +13,18 @@ import (
 // which the paper sketches qualitatively. We score the inferred friendship
 // graph against ground truth as observation time grows and check that
 // isolated children are surfaced.
-func RunE9Sociogram(seed uint64) (*Result, error) {
-	root := rng.New(seed)
+func RunE9Sociogram(ctx context.Context, rc *RunConfig) (*Result, error) {
+	h, err := beginRun(ctx, rc)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(h.cfg.Seed)
 	community := sociogram.CommunityConfig{Children: 30, CliqueSize: 5, IsolatedCount: 3}
 	truth, isolated, err := sociogram.GenerateFriendships(community, root.Split("friends"))
 	if err != nil {
 		return nil, err
 	}
+	h.mark(StageDataset)
 	res := &Result{
 		ID:         "e9",
 		Title:      "Kindergarten sociogram from area-limited tag sightings",
@@ -27,12 +33,16 @@ func RunE9Sociogram(seed uint64) (*Result, error) {
 		Summary:    map[string]float64{},
 	}
 	for _, sessions := range []int{25, 50, 100, 200} {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
 		obs := sociogram.DefaultObservationConfig()
 		obs.Sessions = sessions
 		logs, err := sociogram.Simulate(truth, obs, root.Split(fmt.Sprintf("sim-%d", sessions)))
 		if err != nil {
 			return nil, err
 		}
+		h.mark(StageDataset)
 		inferred := sociogram.Infer(community.Children, sessions, logs)
 		score := sociogram.Evaluate(truth, inferred.Threshold(0.4))
 		found := sociogram.DetectIsolated(inferred, 0.6)
@@ -52,9 +62,10 @@ func RunE9Sociogram(seed uint64) (*Result, error) {
 		})
 		res.Summary[fmt.Sprintf("f1_%d", sessions)] = score.F1
 		res.Summary[fmt.Sprintf("isolated_hits_%d", sessions)] = float64(hits)
+		h.mark(StageEval)
 	}
 	res.Summary["isolated_total"] = float64(len(isolated))
 	res.Notes = fmt.Sprintf("%d children in cliques of %d, %d truly isolated, 5 play areas, lossy tag reads (90%%)",
 		community.Children, community.CliqueSize, community.IsolatedCount)
-	return res, nil
+	return h.finish(res), nil
 }

@@ -7,10 +7,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"zeiot"
 	"zeiot/internal/backscatter"
 	"zeiot/internal/geom"
 	"zeiot/internal/mac"
@@ -75,5 +77,21 @@ func run() error {
 		fmt.Printf("  %-10s backscatter delivery %5.1f%%  collisions %3d  wlan retries %3d  dummies %d\n",
 			mode, 100*m.BSDeliveryRatio(), m.BSCollided, m.WLANRetries, m.DummyFrames)
 	}
+
+	// The registry's e6 sweeps WLAN load for the same coexistence
+	// comparison; a half-length simulation keeps this a quick look.
+	rc := zeiot.DefaultRunConfig()
+	rc.SampleScale = 0.5
+	e, err := zeiot.FindExperiment("e6")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), rc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry e6 (half-length): at 5 WLAN f/s, scheduled delivers %.1f%% vs aloha %.1f%% (in %s)\n",
+		100*res.Summary["delivery_scheduled_load5"], 100*res.Summary["delivery_aloha_load5"],
+		res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/geom"
 	"zeiot/internal/microdeep"
@@ -97,5 +100,19 @@ func run() error {
 		perSampleJ := float64(cost.Max*bitsPerScalar) * r.JoulesPerBit()
 		fmt.Printf("  %-12s %8.2f Hz\n", r.Tech, 100e-6/perSampleJ)
 	}
+
+	// The registry's e11 runs the same feasibility loop on the paper's
+	// battery-free deployment; run it through the experiment engine.
+	e, err := zeiot.FindExperiment("e11")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), zeiot.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry e11: backscatter sustains %.2f Hz (%.0fx over WiFi) (in %s)\n",
+		res.Summary["rate_backscatter"], res.Summary["backscatter_speedup"],
+		res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/dataset"
 	"zeiot/internal/microdeep"
@@ -84,5 +87,19 @@ func run() error {
 		}
 	}
 	fmt.Printf("falls caught: %d alarms raised\n", falls)
+
+	// The registry's e15 scores the same vital-sign estimator across a
+	// subject sweep; run it through the experiment engine.
+	e, err := zeiot.FindExperiment("e15")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), zeiot.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry e15: heart err %.1f bpm, breath err %.1f bpm over %.0f windows (in %s)\n",
+		res.Summary["heart_err_bpm"], res.Summary["breath_err_bpm"], res.Summary["windows_ok"],
+		res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/dataset"
 	"zeiot/internal/microdeep"
@@ -77,5 +80,23 @@ func run() error {
 	central := microdeep.Report(grid)
 	fmt.Printf("peak traffic/sample:    MicroDeep %d vs centralized %d scalars (%.0f%%)\n",
 		fwd.Max, central.Max, 100*float64(fwd.Max)/float64(central.Max))
+
+	// The registry's e2 is this comparison measured the paper's way —
+	// normally averaged over three training seeds. A quarter-size dataset
+	// and a single repeat make it a quick look instead of the full run.
+	rc := zeiot.DefaultRunConfig()
+	rc.SampleScale = 0.25
+	rc.Repeats = 1
+	e, err := zeiot.FindExperiment("e2")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), rc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry e2 (quarter-size, 1 repeat): standard %.1f%% vs MicroDeep %.1f%%, peak ratio %.2f (total %s)\n",
+		100*res.Summary["acc_standard"], 100*res.Summary["acc_microdeep"],
+		res.Summary["peak_ratio"], res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/microdeep"
 	"zeiot/internal/rng"
@@ -83,5 +86,20 @@ func run() error {
 	}
 	fmt.Printf("comm cost/sample: max %d, mean %.1f, total %d scalars\n",
 		cost.Max, cost.Mean, cost.Total)
+
+	// 7. The paper's artifacts run through the same engine as
+	// cmd/zeiotbench: pick one from the registry and run it under an
+	// explicit per-run config.
+	e, err := zeiot.FindExperiment("e7")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), zeiot.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry %s: wifi/backscatter energy ratio %.0fx, usable range %.0f m (in %s)\n",
+		res.ID, res.Summary["wifi_over_backscatter"], res.Summary["usable_range_m"],
+		res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

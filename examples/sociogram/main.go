@@ -6,10 +6,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
+	"zeiot"
 	"zeiot/internal/rng"
 	"zeiot/internal/sociogram"
 )
@@ -56,5 +59,19 @@ func run() error {
 	flagged := sociogram.DetectIsolated(inferred, 0.6)
 	sort.Ints(flagged)
 	fmt.Printf("flagged as isolated: %v (truth %v)\n", flagged, isolated)
+
+	// The registry's e9 sweeps observation time on a larger group; run it
+	// through the experiment engine.
+	e, err := zeiot.FindExperiment("e9")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), zeiot.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry e9: F1 %.2f after 200 sessions, %.0f/%.0f isolated found (in %s)\n",
+		res.Summary["f1_200"], res.Summary["isolated_hits_200"], res.Summary["isolated_total"],
+		res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
+	"zeiot"
 	"zeiot/internal/congestion"
 	"zeiot/internal/rng"
 )
@@ -60,5 +63,19 @@ func run() error {
 		s := congestion.GenerateRoomSample(roomCfg, room.Network(), n, root.Split(fmt.Sprintf("probe-%d", n)))
 		fmt.Printf("  %d people -> estimated %d\n", n, room.Count(s.Features))
 	}
+
+	// The registry's e3 scores the same estimators across many rides; run
+	// it through the experiment engine with the paper's defaults.
+	e, err := zeiot.FindExperiment("e3")
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(context.Background(), zeiot.DefaultRunConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry e3: positioning %.0f%%, congestion F1 %.2f (in %s)\n",
+		100*res.Summary["positioning_acc"], res.Summary["congestion_f1"],
+		res.Timings[zeiot.StageTotal].Round(time.Millisecond))
 	return nil
 }

@@ -1,35 +1,51 @@
 package zeiot
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strings"
+	"time"
 )
 
-// trainWorkers is the worker count the CNN experiments hand to
-// FitParallel; 0 selects runtime.NumCPU(). Parallel training is
-// bit-identical to the sequential path at every worker count (see
-// internal/cnn), so the setting moves wall time only, never results.
-var trainWorkers int
+// Canonical stage names for Result.Timings. Experiments mark the stages
+// they actually have; StageTotal is always present.
+const (
+	StageDataset = "dataset"
+	StageTrain   = "train"
+	StageEval    = "eval"
+	StageCharge  = "charge"
+	StageTotal   = "total"
+)
 
-// TrainWorkers returns the effective worker count for experiment training
-// loops.
-func TrainWorkers() int {
-	if trainWorkers > 0 {
-		return trainWorkers
-	}
-	return runtime.NumCPU()
-}
+// Timings records per-stage wall time for one run, keyed by stage name
+// (StageDataset, StageTrain, StageEval, StageCharge, plus StageTotal).
+// Durations marshal as nanoseconds. Wall time is the one value in a Result
+// that is not deterministic, so tools diffing results byte-for-byte strip
+// it first (cmd/zeiotbench omits it unless -timings is given).
+type Timings map[string]time.Duration
 
-// SetTrainWorkers overrides the training worker count; n <= 0 restores the
-// NumCPU default.
-func SetTrainWorkers(n int) {
-	if n < 0 {
-		n = 0
+// Stages returns the recorded stage names in canonical order (dataset,
+// train, eval, charge, total) followed by any extras sorted by name.
+func (t Timings) Stages() []string {
+	canonical := []string{StageDataset, StageTrain, StageEval, StageCharge, StageTotal}
+	inCanon := make(map[string]bool, len(canonical))
+	out := make([]string, 0, len(t))
+	for _, s := range canonical {
+		inCanon[s] = true
+		if _, ok := t[s]; ok {
+			out = append(out, s)
+		}
 	}
-	trainWorkers = n
+	extras := make([]string, 0)
+	for s := range t {
+		if !inCanon[s] {
+			extras = append(extras, s)
+		}
+	}
+	sort.Strings(extras)
+	return append(out, extras...)
 }
 
 // Result is the regenerated form of one paper table or figure.
@@ -45,6 +61,10 @@ type Result struct {
 	// Summary exposes the headline numbers for programmatic checks
 	// (benchmarks assert on these keys).
 	Summary map[string]float64 `json:"summary"`
+	// Timings is the per-stage wall-time instrumentation every run
+	// records about itself. Unlike every other field it is not
+	// deterministic.
+	Timings Timings `json:"timings,omitempty"`
 	// Notes records deviations and tuning decisions.
 	Notes string `json:"notes,omitempty"`
 }
@@ -115,8 +135,12 @@ type Experiment struct {
 	ID, Title string
 	// Paper cites what the artifact is in the paper.
 	Paper string
-	// Run executes the experiment with the given seed.
-	Run func(seed uint64) (*Result, error)
+	// Run executes the experiment under the given per-run config. A nil
+	// cfg means DefaultRunConfig(); the config is cloned on entry, never
+	// mutated, so one config value may back many concurrent runs. The
+	// context is honoured at stage boundaries and between training
+	// repeats.
+	Run func(ctx context.Context, cfg *RunConfig) (*Result, error)
 }
 
 // Experiments returns the registry in index order.

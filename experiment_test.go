@@ -1,6 +1,7 @@
 package zeiot
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -198,12 +199,15 @@ func TestFastExperimentsRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r, err := e.Run(1)
+			r, err := e.Run(context.Background(), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if len(r.Rows) == 0 || len(r.Summary) == 0 {
 				t.Fatal("empty result")
+			}
+			if r.Timings[StageTotal] <= 0 {
+				t.Error("run recorded no total wall time")
 			}
 			check(t, r)
 		})
@@ -216,7 +220,7 @@ func TestHeavyExperiments(t *testing.T) {
 		t.Skip("CNN training experiments skipped in -short mode")
 	}
 	t.Run("e1", func(t *testing.T) {
-		r, err := RunE1FallCommCost(1)
+		r, err := RunE1FallCommCost(context.Background(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,7 +233,7 @@ func TestHeavyExperiments(t *testing.T) {
 		}
 	})
 	t.Run("e2", func(t *testing.T) {
-		r, err := RunE2Lounge(1)
+		r, err := RunE2Lounge(context.Background(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +245,7 @@ func TestHeavyExperiments(t *testing.T) {
 		}
 	})
 	t.Run("e8", func(t *testing.T) {
-		r, err := RunE8Resilience(1)
+		r, err := RunE8Resilience(context.Background(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,11 +264,12 @@ func TestExperimentsDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := e.Run(42)
+		cfg := &RunConfig{Seed: 42}
+		a, err := e.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := e.Run(42)
+		b, err := e.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,12 +7,12 @@ import (
 )
 
 // LossConfig enables the lossy-link fault-injection dimension of the
-// experiments (zeiotbench -loss). With Enabled false — the default — every
-// experiment runs the fault-free code path and reports byte-identical
-// summaries; with it set, E8 gains a loss-rate sweep (accuracy and comm
-// cost vs drop rate, with and without retries) and E11 charges the
-// retransmission energy of the reliable transport on the backscatter
-// budget.
+// experiments (RunConfig.Loss, zeiotbench -loss). With Enabled false — the
+// default — every experiment runs the fault-free code path and reports
+// byte-identical summaries; with it set, E8 gains a loss-rate sweep
+// (accuracy and comm cost vs drop rate, with and without retries) and E11
+// charges the retransmission energy of the reliable transport on the
+// backscatter budget.
 type LossConfig struct {
 	Enabled bool
 	// DropProb is the per-link-attempt drop probability used by the
@@ -31,16 +31,6 @@ type LossConfig struct {
 func DefaultLossConfig() LossConfig {
 	return LossConfig{DropProb: 0.1, MaxRetries: 3}
 }
-
-var lossConfig LossConfig
-
-// SetLossConfig installs the fault-injection config the experiments read.
-// Like SetTrainWorkers it is process-global, set once by the CLI before
-// experiments run.
-func SetLossConfig(c LossConfig) { lossConfig = c }
-
-// CurrentLossConfig returns the active fault-injection config.
-func CurrentLossConfig() LossConfig { return lossConfig }
 
 // faultModelFor builds the deterministic link fault model for an
 // experiment: the loss-stream seed mixes the experiment seed with the drop

@@ -1,0 +1,272 @@
+package zeiot
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"zeiot/internal/rng"
+)
+
+// RunConfig carries every knob a single experiment run reads. Each run gets
+// its own config — nothing is read from process globals — so concurrent runs
+// with different worker counts, fault-injection settings, or sample scales
+// are first-class: hand each goroutine its own RunConfig and the results are
+// exactly what the same configs produce serially.
+type RunConfig struct {
+	// Seed is the root random seed; every rng stream the run touches is
+	// derived from it by named splits.
+	Seed uint64
+	// TrainWorkers is the worker count handed to the data-parallel CNN
+	// training paths; 0 selects runtime.NumCPU(). Parallel training is
+	// bit-identical to sequential at every worker count, so this moves
+	// wall time only, never results.
+	TrainWorkers int
+	// Loss enables lossy-link fault injection (see LossConfig). The zero
+	// value disables it and every experiment runs the fault-free path.
+	Loss LossConfig
+	// SampleScale multiplies each experiment's default sample, trial, and
+	// simulated-duration counts (rounded, floored at 1). 0 or 1 keeps the
+	// defaults; 0.5 halves dataset sizes for quick sweeps. Scaled runs
+	// are deterministic but not comparable to default-scale summaries.
+	SampleScale float64
+	// Repeats overrides the experiment's accuracy-averaging repeat count
+	// (independent training seeds whose accuracies are averaged); 0 keeps
+	// each experiment's own default (3 for e2, 1 for the single-run
+	// experiments).
+	Repeats int
+}
+
+// Package default config backing the deprecated Set* shims. This is the
+// only mutable package-level config state left, and nothing reads it except
+// DefaultRunConfig and the shims themselves.
+var (
+	defaultMu           sync.Mutex
+	defaultTrainWorkers int
+	defaultLoss         LossConfig
+)
+
+// DefaultRunConfig returns the config that reproduces the historical
+// process-global behaviour exactly: seed 1, NumCPU training workers, fault
+// injection off, full sample counts, experiment-default repeats — plus
+// whatever the deprecated SetTrainWorkers/SetLossConfig shims installed.
+func DefaultRunConfig() *RunConfig {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return &RunConfig{
+		Seed:         1,
+		TrainWorkers: defaultTrainWorkers,
+		Loss:         defaultLoss,
+		SampleScale:  1,
+	}
+}
+
+// SetTrainWorkers overrides the training worker count in the package
+// default config; n <= 0 restores the NumCPU default.
+//
+// Deprecated: SetTrainWorkers mutates the package default config that
+// DefaultRunConfig snapshots. New code should set RunConfig.TrainWorkers on
+// a per-run config instead, which also makes concurrent mixed-worker runs
+// safe.
+func SetTrainWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultMu.Lock()
+	defaultTrainWorkers = n
+	defaultMu.Unlock()
+}
+
+// TrainWorkers returns the package default config's effective training
+// worker count.
+//
+// Deprecated: per-run worker counts live in RunConfig.TrainWorkers; this
+// reads only the default installed by SetTrainWorkers.
+func TrainWorkers() int {
+	defaultMu.Lock()
+	n := defaultTrainWorkers
+	defaultMu.Unlock()
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// SetLossConfig installs a fault-injection config in the package default
+// config.
+//
+// Deprecated: SetLossConfig mutates the package default config that
+// DefaultRunConfig snapshots. New code should set RunConfig.Loss on a
+// per-run config instead, which also makes concurrent mixed-loss runs safe.
+func SetLossConfig(c LossConfig) {
+	defaultMu.Lock()
+	defaultLoss = c
+	defaultMu.Unlock()
+}
+
+// CurrentLossConfig returns the package default config's fault-injection
+// settings.
+//
+// Deprecated: per-run fault injection lives in RunConfig.Loss; this reads
+// only the default installed by SetLossConfig.
+func CurrentLossConfig() LossConfig {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultLoss
+}
+
+// Validate reports the first invalid field. A zero-value RunConfig is
+// valid (SampleScale 0 means 1). Loss options set while Loss.Enabled is
+// false are an error rather than silently ignored — the historical CLI
+// behaviour of dropping -lossretries/-lossburst when -loss was 0.
+func (c *RunConfig) Validate() error {
+	if c.TrainWorkers < 0 {
+		return fmt.Errorf("zeiot: RunConfig.TrainWorkers %d is negative (0 selects NumCPU)", c.TrainWorkers)
+	}
+	if c.SampleScale < 0 {
+		return fmt.Errorf("zeiot: RunConfig.SampleScale %g is negative (0 or 1 keeps the default sample counts)", c.SampleScale)
+	}
+	if c.Repeats < 0 {
+		return fmt.Errorf("zeiot: RunConfig.Repeats %d is negative (0 keeps the experiment default)", c.Repeats)
+	}
+	l := c.Loss
+	if l.DropProb < 0 || l.DropProb > 1 {
+		return fmt.Errorf("zeiot: RunConfig.Loss.DropProb %g outside [0, 1]", l.DropProb)
+	}
+	if l.MaxRetries < 0 {
+		return fmt.Errorf("zeiot: RunConfig.Loss.MaxRetries %d is negative (0 disables retries)", l.MaxRetries)
+	}
+	if !l.Enabled && (l.Burst || l.DropProb != 0 || l.MaxRetries != 0) {
+		return fmt.Errorf("zeiot: loss options set (drop %g, burst %v, retries %d) but Loss.Enabled is false; enable fault injection or clear the options",
+			l.DropProb, l.Burst, l.MaxRetries)
+	}
+	return nil
+}
+
+// Clone returns an independent copy, so a caller can derive per-run
+// variants from a shared base config.
+func (c *RunConfig) Clone() *RunConfig {
+	out := *c
+	return &out
+}
+
+// workers resolves the effective training worker count.
+func (c *RunConfig) workers() int {
+	if c.TrainWorkers > 0 {
+		return c.TrainWorkers
+	}
+	return runtime.NumCPU()
+}
+
+// scaled applies SampleScale to an experiment's default count, rounding and
+// flooring at 1. At the default scale it returns base unchanged, so
+// DefaultRunConfig reproduces the historical datasets exactly.
+func (c *RunConfig) scaled(base int) int {
+	n := int(math.Round(float64(base) * c.SampleScale))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// repeatsOr resolves the accuracy-averaging repeat count against the
+// experiment's default.
+func (c *RunConfig) repeatsOr(def int) int {
+	if c.Repeats > 0 {
+		return c.Repeats
+	}
+	return def
+}
+
+// harness is the per-invocation state threaded through one experiment run:
+// the (normalized, privately owned) config, the context, and the per-stage
+// wall-clock instrumentation that ends up in Result.Timings.
+type harness struct {
+	ctx     context.Context
+	cfg     *RunConfig
+	t0      time.Time
+	last    time.Time
+	timings Timings
+}
+
+// beginRun normalizes and validates the config and starts the stage clock.
+// A nil cfg means DefaultRunConfig(); the caller's config is cloned, never
+// mutated, so one RunConfig may back many concurrent runs.
+func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg == nil {
+		cfg = DefaultRunConfig()
+	} else {
+		cfg = cfg.Clone()
+	}
+	if cfg.SampleScale == 0 {
+		cfg.SampleScale = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	return &harness{ctx: ctx, cfg: cfg, t0: now, last: now, timings: Timings{}}, nil
+}
+
+// mark closes the current stage: the wall time since the previous mark (or
+// since beginRun) accumulates under the given stage name, so marks inside
+// loops sum across iterations.
+func (h *harness) mark(stage string) {
+	now := time.Now()
+	h.timings[stage] += now.Sub(h.last)
+	h.last = now
+}
+
+// finish stamps the total wall time, attaches the timings to the result,
+// and returns it, so experiments can `return h.finish(res), nil`.
+func (h *harness) finish(res *Result) *Result {
+	h.timings[StageTotal] = time.Since(h.t0)
+	res.Timings = h.timings
+	return res
+}
+
+// averageOver is the shared repeats-averaging loop: it runs fn for every
+// round r in [0, repeats) and returns the mean of its results, checking the
+// context between rounds. Stream derivation is the caller's business (see
+// trainAveraged for the training-seed convention).
+func (h *harness) averageOver(repeats int, fn func(r int) (float64, error)) (float64, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	sum := 0.0
+	for r := 0; r < repeats; r++ {
+		if err := h.ctx.Err(); err != nil {
+			return 0, err
+		}
+		v, err := fn(r)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(repeats), nil
+}
+
+// trainAveraged is the shared accuracy-averaging training loop: it runs fn
+// over `repeats` independent seed streams and returns the mean of the
+// returned accuracies. With repeats <= 1 the stream is root.Split(label) —
+// the historical single-run derivation — and with repeats > 1 round r draws
+// root.Split(label + "-" + r), matching the historical e2 averaging loop,
+// so DefaultRunConfig reproduces the pre-RunConfig rng streams exactly.
+func (h *harness) trainAveraged(root *rng.Stream, label string, repeats int, fn func(s *rng.Stream) (float64, error)) (float64, error) {
+	if repeats <= 1 {
+		return fn(root.Split(label))
+	}
+	return h.averageOver(repeats, func(r int) (float64, error) {
+		return fn(root.Split(fmt.Sprintf("%s-%d", label, r)))
+	})
+}
