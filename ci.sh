@@ -7,7 +7,10 @@
 # in the stack fails CI even if no unit test covers it, and a
 # mixed-config parallel run — two experiments with different per-run
 # worker counts, sample scales, repeats and loss settings concurrently —
-# must exit cleanly.
+# must exit cleanly. The observability smoke checks both halves of the
+# metrics contract: collecting metrics leaves the JSON results byte-identical
+# to the golden, and the deterministic metric keys (everything not
+# walltime_-prefixed) are stable across independent runs.
 set -eux
 
 go build ./...
@@ -15,7 +18,9 @@ go vet ./...
 go test -race ./...
 
 smoke="$(mktemp)"
-trap 'rm -f "$smoke"' EXIT
+m1="$(mktemp)"
+m2="$(mktemp)"
+trap 'rm -f "$smoke" "$m1" "$m2"' EXIT
 go run ./cmd/zeiotbench -e e1 -seed 1 -json > "$smoke"
 diff -u testdata/e1_seed1.golden.json "$smoke"
 go run ./cmd/zeiotbench -e e7 -seed 1 -json > "$smoke"
@@ -31,3 +36,17 @@ if go run ./cmd/zeiotbench -e e7 -lossretries 5 > /dev/null 2>&1; then
     echo "zeiotbench accepted -lossretries without -loss" >&2
     exit 1
 fi
+
+# Observability smoke. No regression: running e1 with metrics collection
+# enabled must still emit exactly the golden JSON (the metrics block stays
+# out of -json without -metrics, and recording must not perturb results).
+go run ./cmd/zeiotbench -e e1 -seed 1 -json -metrics-out "$m1" > "$smoke"
+diff -u testdata/e1_seed1.golden.json "$smoke"
+# Determinism: a second run's export matches the first on every metric that
+# is not walltime_-prefixed.
+go run ./cmd/zeiotbench -e e1 -seed 1 -json -metrics-out "$m2" > /dev/null
+grep -v walltime_ "$m1" > "$smoke"
+grep -v walltime_ "$m2" | diff -u "$smoke" -
+# The export is non-trivial: training curves and cache stats are present.
+grep -q zeiot_e1_optimal_train_loss "$m1"
+grep -q zeiot_e1_wsn_route_cache_hits "$m1"

@@ -11,6 +11,10 @@
 //	zeiotbench -repeats 5      # override accuracy-averaging repeat counts
 //	zeiotbench -loss 0.1       # lossy-link fault injection (e8/e11 gain loss dimensions)
 //	zeiotbench -timings        # keep per-stage wall times in the output
+//	zeiotbench -metrics        # collect observability metrics; keep them in -json output
+//	zeiotbench -metrics-out m.prom  # also export them as Prometheus text
+//	zeiotbench -pprof :6060    # serve net/http/pprof while running
+//	zeiotbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	zeiotbench -list           # list experiments
 //
 // The per-run flags -trainworkers, -samples, -repeats, -loss, -lossburst and
@@ -18,6 +22,11 @@
 // -parallel can legally run differently-configured experiments concurrently:
 //
 //	zeiotbench -e e1,e8 -parallel 2 -trainworkers 1,4 -loss 0,0.1
+//
+// Observability (-metrics / -metrics-out) never changes any result: each
+// experiment gets its own obs.Registry, recording reads values the run
+// already computed, and metric names carrying wall time use the walltime_
+// prefix so the deterministic remainder diffs byte-for-byte across runs.
 package main
 
 import (
@@ -25,14 +34,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"zeiot"
+	"zeiot/internal/obs"
 )
 
 func main() {
@@ -75,8 +88,48 @@ func run() int {
 		loss     = flag.String("loss", "0", "per-link drop probability for fault injection (0 = disabled; e8 gains a loss sweep, e11 charges retransmission energy)")
 		lossB    = flag.String("lossburst", "false", "use Gilbert-Elliott burst loss instead of independent drops")
 		lossR    = flag.String("lossretries", "3", "max retransmissions per hop for the reliable transport (0 = no retries)")
+		metrics  = flag.Bool("metrics", false, "collect observability metrics and keep the metrics block in -json output")
+		metOut   = flag.String("metrics-out", "", "write collected metrics as Prometheus text to this path (implies collection)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while experiments run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "zeiotbench: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zeiotbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "zeiotbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zeiotbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "zeiotbench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range zeiot.Experiments() {
@@ -128,12 +181,12 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, twVals, scVals, rpVals, lossVals, lbVals, lrVals)
+	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals)
 }
 
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
-func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings bool,
+func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings, metrics bool, metricsOut string,
 	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int) int {
 
 	// Loss options explicitly passed while every run has -loss 0 would be
@@ -154,10 +207,19 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 		}
 	}
 
+	// One registry per experiment so concurrent runs never interleave their
+	// metrics and the Prometheus export can prefix each block by id.
+	collect := metrics || metricsOut != ""
+	regs := make([]*obs.Registry, len(selected))
+
 	cfgs := make([]*zeiot.RunConfig, len(selected))
 	for i := range selected {
 		rc := zeiot.DefaultRunConfig()
 		rc.Seed = seed
+		if collect {
+			regs[i] = obs.NewRegistry()
+			rc.Recorder = regs[i]
+		}
 		rc.TrainWorkers = twVals[i]
 		rc.SampleScale = scVals[i]
 		rc.Repeats = rpVals[i]
@@ -224,9 +286,15 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 			continue
 		}
 		// Timings are the one nondeterministic Result field; strip them
-		// unless asked so -json output diffs byte-for-byte across runs.
+		// unless asked so -json output diffs byte-for-byte across runs. The
+		// metrics block likewise stays out of -json unless -metrics, so
+		// -metrics-out alone leaves the JSON identical to an uninstrumented
+		// run (the golden-diff property ci.sh checks).
 		if !timings {
 			results[i].Timings = nil
+		}
+		if !metrics {
+			results[i].Metrics = nil
 		}
 		if jsonOut {
 			jsonResults = append(jsonResults, results[i])
@@ -246,10 +314,35 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 			return 1
 		}
 	}
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, selected, regs, errs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeMetrics exports every successful experiment's registry as Prometheus
+// text, each block prefixed zeiot_<id>_, in -e order.
+func writeMetrics(path string, selected []zeiot.Experiment, regs []*obs.Registry, errs []error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i, e := range selected {
+		if errs[i] != nil || regs[i] == nil {
+			continue
+		}
+		if err := regs[i].Snapshot().WritePrometheus(f, "zeiot_"+obs.SanitizeName(e.ID)+"_"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // stageSummary renders per-stage timings as "; dataset 12ms, train 340ms"

@@ -58,6 +58,8 @@ func RunE11BatteryFree(ctx context.Context, rc *RunConfig) (*Result, error) {
 			maxScalars = tr.Scalars
 		}
 	}
+	h.observeWSN("wsn_", w)
+	h.observePlanCache("model_", model.Graph)
 	h.mark(StageCharge)
 
 	const (
@@ -131,6 +133,7 @@ func RunE11BatteryFree(ctx context.Context, rc *RunConfig) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.Record(h.cfg.Recorder, "loss_")
 		lossyMax := w.MaxCost()
 		overhead := float64(lossyMax) / math.Max(float64(maxCost), 1)
 		for _, r := range radio.StandardRadios() {

@@ -57,6 +57,7 @@ func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		m.SetRecorder(h.cfg.Recorder, "optimal_", test)
 		m.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sOpt.Split("fit"))
 		h.mark(StageTrain)
 		mOpt = m
@@ -98,6 +99,7 @@ func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
 			return 0, err
 		}
 		m.EnableLocalUpdate()
+		m.SetRecorder(h.cfg.Recorder, "feasible_", test)
 		m.FitParallel(train, 12, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sFea.Split("fit"))
 		h.mark(StageTrain)
 		mFea = m
@@ -113,6 +115,10 @@ func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
 		return nil, err
 	}
 	h.mark(StageCharge)
+
+	h.observeWSN("wsn_", w)
+	h.observePlanCache("optimal_", mOpt.Graph)
+	h.observePlanCache("feasible_", mFea.Graph)
 
 	reduction := 1 - float64(costFea.Max)/float64(costOpt.Max)
 	res := &Result{

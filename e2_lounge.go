@@ -66,6 +66,7 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 	repeats := h.cfg.repeatsOr(e2Repeats)
 	accStd, err := h.trainAveraged(root, "std", repeats, func(sStd *rng.Stream) (float64, error) {
 		standard := loungeNet(sStd)
+		standard.SetRecorder(h.cfg.Recorder, "standard_", test)
 		standard.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
 		h.mark(StageTrain)
 		acc := standard.Evaluate(test)
@@ -87,6 +88,7 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 			return 0, err
 		}
 		m.EnableLocalUpdate()
+		m.SetRecorder(h.cfg.Recorder, "microdeep_", test)
 		m.FitParallel(train, 12, 16, h.cfg.workers(), cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
 		h.mark(StageTrain)
 		md = m
@@ -134,6 +136,8 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.observeWSN("wsn_", w)
+	h.observePlanCache("microdeep_", md.Graph)
 	h.mark(StageCharge)
 
 	res := &Result{

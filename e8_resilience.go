@@ -54,6 +54,7 @@ func RunE8Resilience(ctx context.Context, rc *RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	model.SetRecorder(h.cfg.Recorder, "model_", test)
 	model.FitParallel(train, 6, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sNet.Split("fit"))
 	h.mark(StageTrain)
 
@@ -178,7 +179,7 @@ func RunE8Resilience(ctx context.Context, rc *RunConfig) (*Result, error) {
 	// per-node comm cost per sample counts every transmission attempt, so
 	// retries buy accuracy with visible energy.
 	if lc := h.cfg.Loss; lc.Enabled {
-		evaluateLossy := func(rate float64, retries int) (float64, float64, error) {
+		evaluateLossy := func(rate float64, retries int, recPrefix string) (float64, float64, error) {
 			wLoss := loungeWSN()
 			ex := microdeep.NewExecutor(model.Graph)
 			ex.Assign = &model.Assign
@@ -195,20 +196,21 @@ func RunE8Resilience(ctx context.Context, rc *RunConfig) (*Result, error) {
 					correct++
 				}
 			}
+			ex.Stats.Record(h.cfg.Recorder, recPrefix)
 			acc := float64(correct) / float64(len(test))
 			cost := float64(wLoss.MaxCost()) / float64(len(test))
 			return acc, cost, nil
 		}
 		for _, rate := range []float64{0.05, 0.1, 0.2, 0.3} {
-			accRetry, costRetry, err := evaluateLossy(rate, lc.MaxRetries)
-			if err != nil {
-				return nil, err
-			}
-			accBare, costBare, err := evaluateLossy(rate, 0)
-			if err != nil {
-				return nil, err
-			}
 			pctKey := fmt.Sprintf("%.0f", 100*rate)
+			accRetry, costRetry, err := evaluateLossy(rate, lc.MaxRetries, "loss_"+pctKey+"_retry_")
+			if err != nil {
+				return nil, err
+			}
+			accBare, costBare, err := evaluateLossy(rate, 0, "loss_"+pctKey+"_noretry_")
+			if err != nil {
+				return nil, err
+			}
 			res.Rows = append(res.Rows, []string{
 				fmt.Sprintf("loss %s%%", pctKey),
 				pct(accRetry), pct(accBare),

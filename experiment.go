@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"zeiot/internal/obs"
 )
 
 // Canonical stage names for Result.Timings. Experiments mark the stages
@@ -65,6 +67,13 @@ type Result struct {
 	// records about itself. Unlike every other field it is not
 	// deterministic.
 	Timings Timings `json:"timings,omitempty"`
+	// Metrics is the observability export: when RunConfig.Recorder is a
+	// snapshotting recorder (obs.NewRegistry), the harness attaches its
+	// state here at the end of the run. Metrics named with the
+	// obs.WallTimePrefix convention are the only nondeterministic entries;
+	// everything else is byte-stable across identical runs. Nil whenever
+	// observability is disabled, so default-config output is unchanged.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 	// Notes records deviations and tuning decisions.
 	Notes string `json:"notes,omitempty"`
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"zeiot/internal/obs"
 	"zeiot/internal/rng"
 	"zeiot/internal/tensor"
 )
@@ -21,6 +22,11 @@ type Network struct {
 	// TrainEpochParallel; they share parameter and gradient tensors with
 	// this network but own their scratch buffers.
 	slots []*Network
+	// rec, when non-nil, receives per-epoch training curves from Fit and
+	// FitParallel (see SetRecorder). Shadow networks never carry it.
+	rec       obs.Recorder
+	recPrefix string
+	recEval   []Sample
 }
 
 // NewNetwork returns a network accepting inputs of the given shape.
@@ -385,12 +391,39 @@ func (n *Network) Evaluate(samples []Sample) float64 {
 	return float64(correct) / float64(len(samples))
 }
 
+// SetRecorder attaches an observability recorder: Fit and FitParallel then
+// record one training-loss point per epoch under <prefix>train_loss and —
+// when eval is non-empty — one accuracy point per epoch under
+// <prefix>eval_acc. Evaluation consumes no randomness, so attaching a
+// recorder never changes the trained weights or any rng stream; it only
+// spends wall time on the held-out passes. A nil recorder (the default)
+// disables recording with zero overhead.
+func (n *Network) SetRecorder(r obs.Recorder, prefix string, eval []Sample) {
+	n.rec = r
+	n.recPrefix = prefix
+	n.recEval = eval
+}
+
+// observeEpoch publishes one epoch's curve points; a no-op without a
+// recorder. It runs strictly between epochs — never inside the parallel
+// forward workers — so recorder calls are sequential per network.
+func (n *Network) observeEpoch(loss float64) {
+	if n.rec == nil {
+		return
+	}
+	n.rec.Observe(n.recPrefix+"train_loss", loss)
+	if len(n.recEval) > 0 {
+		n.rec.Observe(n.recPrefix+"eval_acc", n.Evaluate(n.recEval))
+	}
+}
+
 // Fit trains for epochs epochs with a fresh shuffle per epoch and returns
 // the final training loss.
 func (n *Network) Fit(samples []Sample, epochs, batch int, opt *SGD, stream *rng.Stream) float64 {
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
 		loss = n.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+		n.observeEpoch(loss)
 	}
 	return loss
 }
@@ -402,6 +435,7 @@ func (n *Network) FitParallel(samples []Sample, epochs, batch, workers int, opt 
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
 		loss = n.TrainEpochParallel(samples, stream.Perm(len(samples)), batch, workers, opt)
+		n.observeEpoch(loss)
 	}
 	return loss
 }

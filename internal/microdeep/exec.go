@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"zeiot/internal/obs"
 	"zeiot/internal/tensor"
 	"zeiot/internal/wsn"
 )
@@ -72,6 +73,21 @@ type DeliveryStats struct {
 	// Retries the retransmissions alone; BackoffSlots the accumulated
 	// backoff waits.
 	Attempts, Retries, BackoffSlots int
+}
+
+// Record publishes the rollup as gauges under prefix (transfers, lost,
+// attempts, retries, backoff_slots); a no-op with a nil recorder. Gauges
+// rather than counters so re-recording the same accumulated stats is
+// idempotent.
+func (s *DeliveryStats) Record(r obs.Recorder, prefix string) {
+	if r == nil {
+		return
+	}
+	r.Gauge(prefix+"transfers", float64(s.Transfers))
+	r.Gauge(prefix+"lost", float64(s.Lost))
+	r.Gauge(prefix+"attempts", float64(s.Attempts))
+	r.Gauge(prefix+"retries", float64(s.Retries))
+	r.Gauge(prefix+"backoff_slots", float64(s.BackoffSlots))
 }
 
 func (s *DeliveryStats) add(d wsn.Delivery) {

@@ -107,6 +107,15 @@ type Graph struct {
 // NumSites returns the total number of sites.
 func (g *Graph) NumSites() int { return len(g.Sites) }
 
+// PlanCacheStats returns the cumulative hit/miss counts of this graph's
+// transfer-plan cache (see plancache.go). A forced recompute after a hash
+// collision counts as a miss.
+func (g *Graph) PlanCacheStats() (hits, misses uint64) {
+	g.plans.mu.Lock()
+	defer g.plans.mu.Unlock()
+	return g.plans.hits, g.plans.misses
+}
+
 // NumUnits returns the total number of scalar units (sum of site widths)
 // excluding the input stage, i.e. the neurons the WSN must compute.
 func (g *Graph) NumUnits() int {

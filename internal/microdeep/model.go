@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"zeiot/internal/cnn"
+	"zeiot/internal/obs"
 	"zeiot/internal/rng"
 	"zeiot/internal/tensor"
 	"zeiot/internal/wsn"
@@ -47,6 +48,11 @@ type Model struct {
 	// shared filter.
 	gossipEvery int
 	stepCount   int
+	// rec, when non-nil, receives per-epoch training curves and gossip
+	// counters from Fit/FitParallel (see SetRecorder).
+	rec       obs.Recorder
+	recPrefix string
+	recEval   []cnn.Sample
 }
 
 // convReplica holds the per-unit kernels of one conv stage: position
@@ -190,6 +196,39 @@ func (m *Model) stepReplicas(opt *cnn.SGD, batch int) {
 	m.stepCount++
 	if m.gossipEvery > 0 && m.stepCount%m.gossipEvery == 0 {
 		m.gossip()
+		if m.rec != nil {
+			m.rec.Add(m.recPrefix+"gossip_rounds", 1)
+		}
+	}
+}
+
+// SetRecorder attaches an observability recorder: Fit and FitParallel then
+// record one training-loss point per epoch under <prefix>train_loss, an
+// accuracy point per epoch under <prefix>eval_acc when eval is non-empty,
+// and — in local-update mode — a replica-divergence point per epoch under
+// <prefix>replica_divergence. Gossip rounds accumulate in the counter
+// <prefix>gossip_rounds. None of this consumes randomness or reorders a
+// reduction, so trained weights and every experiment summary are identical
+// with the recorder attached or not. A nil recorder (the default) disables
+// recording with zero overhead.
+func (m *Model) SetRecorder(r obs.Recorder, prefix string, eval []cnn.Sample) {
+	m.rec = r
+	m.recPrefix = prefix
+	m.recEval = eval
+}
+
+// observeEpoch publishes one epoch's curve points; a no-op without a
+// recorder. Runs strictly between epochs, outside any worker goroutine.
+func (m *Model) observeEpoch(loss float64) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Observe(m.recPrefix+"train_loss", loss)
+	if len(m.recEval) > 0 {
+		m.rec.Observe(m.recPrefix+"eval_acc", m.Evaluate(m.recEval))
+	}
+	if m.localUpdate {
+		m.rec.Observe(m.recPrefix+"replica_divergence", m.ReplicaDivergence())
 	}
 }
 
@@ -310,6 +349,7 @@ func (m *Model) Fit(samples []cnn.Sample, epochs, batch int, opt *cnn.SGD, strea
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
 		loss = m.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+		m.observeEpoch(loss)
 	}
 	return loss
 }
@@ -321,6 +361,7 @@ func (m *Model) FitParallel(samples []cnn.Sample, epochs, batch, workers int, op
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
 		loss = m.TrainEpochParallel(samples, stream.Perm(len(samples)), batch, workers, opt)
+		m.observeEpoch(loss)
 	}
 	return loss
 }

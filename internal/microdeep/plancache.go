@@ -50,6 +50,10 @@ type planEntry struct {
 type planCache struct {
 	mu sync.Mutex
 	m  map[planKey]*planEntry
+	// hits/misses count planFor outcomes over the cache's lifetime (a
+	// hash collision forces a recompute and counts as a miss). Read via
+	// Graph.PlanCacheStats by the observability layer.
+	hits, misses uint64
 	// rawSeen/edgeSeen are the reusable dedup bitsets computePlan
 	// scratches in.
 	rawSeen, edgeSeen bitset
@@ -95,8 +99,10 @@ func planFor(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok && equalInts(e.nodeOf, a.NodeOf) {
+		c.hits++
 		return e.plan, nil
 	}
+	c.misses++
 	plan, err := computePlan(g, a, w, &c.rawSeen, &c.edgeSeen)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Add("hits", 2)
+	r.Add("hits", 3)
+	r.Gauge("nodes", 50)
+	r.Gauge("nodes", 49) // latest value wins
+	r.Observe("loss", 0.5)
+	r.Observe("loss", 0.25)
+
+	s := r.Snapshot()
+	if s.Counters["hits"] != 5 {
+		t.Errorf("counter hits = %d, want 5", s.Counters["hits"])
+	}
+	if s.Gauges["nodes"] != 49 {
+		t.Errorf("gauge nodes = %g, want 49", s.Gauges["nodes"])
+	}
+	if len(s.Series["loss"]) != 2 || s.Series["loss"][0] != 0.5 || s.Series["loss"][1] != 0.25 {
+		t.Errorf("series loss = %v", s.Series["loss"])
+	}
+
+	// The snapshot is a deep copy: later registry activity must not leak in.
+	r.Add("hits", 100)
+	r.Observe("loss", 9)
+	if s.Counters["hits"] != 5 || len(s.Series["loss"]) != 2 {
+		t.Error("snapshot aliases live registry state")
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	Nop.Add("a", 1)
+	Nop.Gauge("b", 2)
+	Nop.Observe("c", 3)
+}
+
+func TestDeterministicStripsWallTime(t *testing.T) {
+	r := NewRegistry()
+	r.Add("transfers", 7)
+	r.Add(WallTimePrefix+"ticks", 3)
+	r.Gauge("acc", 0.9)
+	r.Gauge(WallTimePrefix+"stage_train_seconds", 1.23)
+	r.Observe("loss", 0.5)
+	r.Observe(WallTimePrefix+"epoch_seconds", 0.1)
+
+	d := r.Snapshot().Deterministic()
+	if _, ok := d.Counters[WallTimePrefix+"ticks"]; ok {
+		t.Error("wall-time counter survived Deterministic")
+	}
+	if _, ok := d.Gauges[WallTimePrefix+"stage_train_seconds"]; ok {
+		t.Error("wall-time gauge survived Deterministic")
+	}
+	if _, ok := d.Series[WallTimePrefix+"epoch_seconds"]; ok {
+		t.Error("wall-time series survived Deterministic")
+	}
+	if d.Counters["transfers"] != 7 || d.Gauges["acc"] != 0.9 || len(d.Series["loss"]) != 1 {
+		t.Errorf("deterministic snapshot lost real metrics: %+v", d)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		r.Add("b_counter", 2)
+		r.Add("a_counter", 1)
+		r.Gauge("z", 26)
+		r.Gauge("a", 1)
+		r.Observe("s", 0.5)
+		out, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical registries marshal to different JSON")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Add("cache_hits", 12)
+	r.Gauge("max cost", 360) // space must sanitize to '_'
+	r.Observe("loss", 0.5)
+	r.Observe("loss", 0.125)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b, "zeiot_e1_"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE zeiot_e1_cache_hits counter\nzeiot_e1_cache_hits 12\n",
+		"# TYPE zeiot_e1_max_cost gauge\nzeiot_e1_max_cost 360\n",
+		"zeiot_e1_loss{i=\"0\"} 0.5\n",
+		"zeiot_e1_loss{i=\"1\"} 0.125\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Byte-stable across renders.
+	var b2 strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b2, "zeiot_e1_"); err != nil {
+		t.Fatal(err)
+	}
+	if out != b2.String() {
+		t.Error("two renders of one snapshot differ")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"plain_name":     "plain_name",
+		"with space":     "with_space",
+		"dots.and-dash":  "dots_and_dash",
+		"5leading_digit": "_5leading_digit",
+		"colon:ok":       "colon:ok",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race (ci.sh does) it proves recorder sharing across parallel runs
+// is safe.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add("c", 1)
+				r.Gauge("g", float64(i))
+				r.Observe("s", float64(i))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8*500 {
+		t.Errorf("counter c = %d, want %d", s.Counters["c"], 8*500)
+	}
+	if len(s.Series["s"]) != 8*500 {
+		t.Errorf("series s has %d points, want %d", len(s.Series["s"]), 8*500)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as `# TYPE <name> counter`, gauges and
+// series as gauges, with series points labelled by their append index
+// (`name{i="3"} v`). Every metric name is prefixed with prefix and sanitized
+// to the Prometheus charset. Output is fully deterministic: metrics emit in
+// sorted name order and values use the shortest round-trip float encoding.
+func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	for _, k := range sortedKeys(s.Counters) {
+		name := SanitizeName(prefix + k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := SanitizeName(prefix + k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[k])); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Series) {
+		name := SanitizeName(prefix + k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+			return err
+		}
+		for i, v := range s.Series[k] {
+			if _, err := fmt.Fprintf(w, "%s{i=\"%d\"} %s\n", name, i, formatFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat is the shortest decimal encoding that round-trips, so exports
+// carry full precision and identical values render identically.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizeName maps an arbitrary metric name onto the Prometheus charset
+// [a-zA-Z0-9_:], replacing every other rune with '_' and prefixing a '_'
+// when the first rune would be a digit.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -35,6 +35,18 @@ func New(seed uint64) *Stream {
 // golden is the SplitMix64 increment (odd, close to 2^64/phi).
 const golden = 0x9e3779b97f4a7c15
 
+// Mix64 applies the SplitMix64 output finalizer to x: a bijective
+// avalanche mix in which every input bit affects every output bit. Seed
+// derivations that combine a base seed with structured values (a drop rate,
+// a link identity) should run the combination through Mix64 so nearby or
+// degenerate inputs — in particular an xor with zero, which would otherwise
+// be the identity — land far apart in state space.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += golden

@@ -200,12 +200,18 @@ type Delivery struct {
 // exponential backoff, the transmitter's TxScalars is charged on every
 // attempt (energy is spent whether or not the frame arrives), and the
 // receiver's RxScalars only on success. A hop that exhausts its retries
-// abandons the transfer with Delivered=false. With fm == nil the call
-// charges exactly what Send charges and always delivers, so the fault
-// layer disabled is a strict no-op.
+// abandons the transfer with Delivered=false. A negative MaxRetries is
+// clamped to 0 — "0 disables retries" is the policy floor; the unclamped
+// value used to skip the attempt loop entirely and report an undelivered
+// transfer with zero energy charged. With fm == nil the call charges
+// exactly what Send charges and always delivers, so the fault layer
+// disabled is a strict no-op.
 func (n *Network) SendReliable(from, to, scalars int, fm *LinkFaultModel, rp RetryPolicy) (Delivery, error) {
 	if scalars < 0 {
 		panic("wsn: negative scalar count")
+	}
+	if rp.MaxRetries < 0 {
+		rp.MaxRetries = 0
 	}
 	if from == to || scalars == 0 {
 		return Delivery{Delivered: true}, nil

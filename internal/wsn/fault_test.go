@@ -189,6 +189,58 @@ func TestSendReliableChargesRetries(t *testing.T) {
 	}
 }
 
+// TestSendReliableRetryPolicyClamp pins the attempt and energy accounting
+// at MaxRetries ∈ {-1, 0, 1}. The regression: a negative MaxRetries used to
+// skip the attempt loop entirely, returning Delivered=false with zero Tx
+// charged — silently wrong energy bookkeeping that also contradicted the
+// "0 disables retries" doc. Negatives now clamp to 0, so -1 and 0 behave
+// identically: exactly one attempt, charged.
+func TestSendReliableRetryPolicyClamp(t *testing.T) {
+	cases := []struct {
+		maxRetries   int
+		wantAttempts int
+	}{
+		{-1, 1},
+		{0, 1},
+		{1, 2},
+	}
+	for _, tc := range cases {
+		// Always-lossy link: every allowed attempt runs and fails.
+		n := NewGrid(1, 2, 1)
+		m := NewLinkFaultModel(FaultConfig{Seed: 9, DropProb: 1})
+		d, err := n.SendReliable(0, 1, 10, m, RetryPolicy{MaxRetries: tc.maxRetries, BackoffBase: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Delivered {
+			t.Fatalf("MaxRetries %d: delivered through a DropProb=1 link", tc.maxRetries)
+		}
+		if d.Attempts != tc.wantAttempts || d.Retries != tc.wantAttempts-1 {
+			t.Errorf("MaxRetries %d: attempts/retries = %d/%d, want %d/%d",
+				tc.maxRetries, d.Attempts, d.Retries, tc.wantAttempts, tc.wantAttempts-1)
+		}
+		if tx := n.Node(0).TxScalars; tx != 10*tc.wantAttempts {
+			t.Errorf("MaxRetries %d: transmitter charged %d scalars, want %d attempts × 10 = %d",
+				tc.maxRetries, tx, tc.wantAttempts, 10*tc.wantAttempts)
+		}
+		if rx := n.Node(1).RxScalars; rx != 0 {
+			t.Errorf("MaxRetries %d: receiver charged %d scalars for zero deliveries", tc.maxRetries, rx)
+		}
+
+		// Lossless link: every policy delivers on the first attempt with
+		// Send-equal charges, negatives included.
+		n2 := NewGrid(1, 2, 1)
+		d, err = n2.SendReliable(0, 1, 10, NewLinkFaultModel(FaultConfig{Seed: 9}), RetryPolicy{MaxRetries: tc.maxRetries})
+		if err != nil || !d.Delivered || d.Attempts != 1 {
+			t.Fatalf("MaxRetries %d lossless: delivery %+v, err %v", tc.maxRetries, d, err)
+		}
+		if n2.Node(0).TxScalars != 10 || n2.Node(1).RxScalars != 10 {
+			t.Errorf("MaxRetries %d lossless: charges %d/%d, want 10/10",
+				tc.maxRetries, n2.Node(0).TxScalars, n2.Node(1).RxScalars)
+		}
+	}
+}
+
 // TestSendReliableMultiHop checks that a mid-route retry exhaustion keeps
 // the upstream charges (the energy was spent) and reports the partial hop
 // count.

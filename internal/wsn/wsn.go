@@ -63,6 +63,13 @@ type Network struct {
 	// rebuild, so previously handed-out route slices stay valid snapshots.
 	routes     [][]int
 	routeArena []int
+	// routeHits/routeMisses count Route's memo outcomes over the network's
+	// lifetime (cumulative across topology rebuilds). Plain integers rather
+	// than a recorder hook: Route is a hot path and an increment is free,
+	// so the observability layer reads them on demand instead of being
+	// called per lookup.
+	routeHits   uint64
+	routeMisses uint64
 }
 
 // New builds a network from node positions; two live nodes are linked when
@@ -252,8 +259,10 @@ func (n *Network) Route(i, j int) ([]int, error) {
 	}
 	idx := i*len(n.nodes) + j
 	if r := n.routes[idx]; r != nil {
+		n.routeHits++
 		return r, nil
 	}
+	n.routeMisses++
 	start := len(n.routeArena)
 	n.routeArena = append(n.routeArena, i)
 	cur := i
@@ -264,6 +273,14 @@ func (n *Network) Route(i, j int) ([]int, error) {
 	r := n.routeArena[start:len(n.routeArena):len(n.routeArena)]
 	n.routes[idx] = r
 	return r, nil
+}
+
+// RouteCacheStats returns the cumulative hit/miss counts of the route memo
+// over the network's lifetime. A rebuild (Fail/Recover) empties the memo but
+// keeps the counters, so the numbers describe every lookup the network ever
+// served.
+func (n *Network) RouteCacheStats() (hits, misses uint64) {
+	return n.routeHits, n.routeMisses
 }
 
 // Connected reports whether all live nodes form one component.

@@ -3,6 +3,7 @@ package zeiot
 import (
 	"math"
 
+	"zeiot/internal/rng"
 	"zeiot/internal/wsn"
 )
 
@@ -32,12 +33,24 @@ func DefaultLossConfig() LossConfig {
 	return LossConfig{DropProb: 0.1, MaxRetries: 3}
 }
 
+// faultSeed derives the loss-stream seed for one sweep point: the
+// experiment seed xor the rate's bits spread by the golden-ratio multiply,
+// finalized through one SplitMix64 avalanche round. The finalizer is the
+// fix for two defects of the raw mix `seed ^ (bits(rate) * golden)`: at
+// rate 0 the xor was the identity, so the fault model shared the
+// experiment's own base stream, and the multiply alone mixes too weakly to
+// guarantee unrelated streams for nearby rates. Mix64 is a bijection, so
+// distinct rates still can never collide with each other at a fixed seed.
+func faultSeed(seed uint64, rate float64) uint64 {
+	return rng.Mix64(seed ^ (math.Float64bits(rate) * 0x9e3779b97f4a7c15))
+}
+
 // faultModelFor builds the deterministic link fault model for an
 // experiment: the loss-stream seed mixes the experiment seed with the drop
-// rate, so every sweep point draws from an independent, reproducible
-// stream and never perturbs the experiment's own rng streams.
+// rate (see faultSeed), so every sweep point draws from an independent,
+// reproducible stream and never perturbs the experiment's own rng streams.
 func faultModelFor(seed uint64, rate float64, burst bool) *wsn.LinkFaultModel {
-	cfg := wsn.FaultConfig{Seed: seed ^ (math.Float64bits(rate) * 0x9e3779b97f4a7c15)}
+	cfg := wsn.FaultConfig{Seed: faultSeed(seed, rate)}
 	if burst {
 		cfg.Burst = wsn.GilbertElliottFor(rate)
 	} else {

@@ -1,0 +1,67 @@
+package zeiot
+
+import (
+	"testing"
+
+	"zeiot/internal/rng"
+)
+
+// TestFaultSeedStreamsDistinct is the regression test for the weak fault
+// seed mix: `seed ^ (Float64bits(rate) * golden)` was the identity at rate 0
+// — the fault model drew from the experiment's own base stream — and a
+// multiply-only mix generally. The finalized derivation must give every
+// sweep rate a stream distinct from the others and from the base seed.
+func TestFaultSeedStreamsDistinct(t *testing.T) {
+	const seed = uint64(1)
+	rates := []float64{0, 0.05, 0.1}
+
+	seeds := map[uint64]float64{}
+	for _, rate := range rates {
+		s := faultSeed(seed, rate)
+		if s == seed {
+			t.Errorf("faultSeed(%d, %g) = %d collides with the experiment base seed", seed, rate, s)
+		}
+		if prev, dup := seeds[s]; dup {
+			t.Errorf("faultSeed(%d, %g) collides with rate %g", seed, rate, prev)
+		}
+		seeds[s] = rate
+	}
+
+	// Stream-level check: the first draws of each derived stream must not
+	// track the base stream or each other (a byte-for-byte prefix match
+	// would mean correlated loss processes).
+	draw := func(s uint64) [4]uint64 {
+		st := rng.New(s)
+		var out [4]uint64
+		for i := range out {
+			out[i] = st.Uint64()
+		}
+		return out
+	}
+	base := draw(seed)
+	prefixes := map[[4]uint64]float64{}
+	for _, rate := range rates {
+		p := draw(faultSeed(seed, rate))
+		if p == base {
+			t.Errorf("rate %g: derived stream replays the base stream", rate)
+		}
+		if prev, dup := prefixes[p]; dup {
+			t.Errorf("rate %g: derived stream replays rate %g's stream", rate, prev)
+		}
+		prefixes[p] = rate
+	}
+}
+
+// TestFaultModelRateZeroIndependent pins the observable consequence of the
+// old identity mix: at rate 0 the fault model's seed equaled the experiment
+// seed, so its per-link substreams were exactly those the experiment itself
+// would derive. After the fix the two derivations must disagree.
+func TestFaultModelRateZeroIndependent(t *testing.T) {
+	if faultSeed(7, 0) == 7 {
+		t.Fatal("faultSeed at rate 0 is still the identity on the experiment seed")
+	}
+	// Different base seeds must still produce different fault streams.
+	if faultSeed(1, 0.1) == faultSeed(2, 0.1) {
+		t.Fatal("faultSeed ignores the experiment seed")
+	}
+}

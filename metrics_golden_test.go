@@ -1,0 +1,83 @@
+package zeiot_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zeiot"
+	"zeiot/internal/obs"
+)
+
+// TestMetricsGoldenE1 pins the two observability contracts at once on e1
+// seed 1 (the experiment with the densest instrumentation):
+//
+//  1. Attaching a recorder changes nothing: the Result, with Metrics and
+//     Timings stripped, still matches the checked-in golden byte for byte.
+//  2. The metrics themselves are deterministic: two independent runs export
+//     byte-identical Prometheus text once walltime_-prefixed entries are
+//     stripped (the in-process version of the ci.sh -metrics-out diff).
+func TestMetricsGoldenE1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the fall-detection CNNs twice")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "e1_seed1.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := zeiot.FindExperiment("e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func() (resultJSON, prom []byte) {
+		cfg := zeiot.DefaultRunConfig()
+		reg := obs.NewRegistry()
+		cfg.Recorder = reg
+		r, err := e.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Metrics == nil {
+			t.Fatal("Result.Metrics not attached despite a snapshotting recorder")
+		}
+		if len(r.Metrics.Series["optimal_train_loss"]) == 0 {
+			t.Error("metrics missing the optimal_train_loss training curve")
+		}
+		if _, ok := r.Metrics.Gauges["wsn_route_cache_hits"]; !ok {
+			t.Error("metrics missing wsn_route_cache_hits")
+		}
+		r.Timings = nil
+		r.Metrics = nil
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]*zeiot.Result{r}); err != nil {
+			t.Fatal(err)
+		}
+		var pb bytes.Buffer
+		if err := reg.Snapshot().Deterministic().WritePrometheus(&pb, "zeiot_e1_"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), pb.Bytes()
+	}
+
+	json1, prom1 := runOnce()
+	json2, prom2 := runOnce()
+
+	if !bytes.Equal(json1, want) {
+		t.Error("e1 Result with a recorder attached diverged from the recorder-free golden")
+	}
+	if !bytes.Equal(json2, want) {
+		t.Error("second instrumented e1 run diverged from the golden")
+	}
+	if !bytes.Equal(prom1, prom2) {
+		t.Errorf("deterministic metrics differ across identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", prom1, prom2)
+	}
+	if len(prom1) == 0 {
+		t.Error("deterministic Prometheus export is empty")
+	}
+}

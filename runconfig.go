@@ -8,7 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"zeiot/internal/microdeep"
+	"zeiot/internal/obs"
 	"zeiot/internal/rng"
+	"zeiot/internal/wsn"
 )
 
 // RunConfig carries every knob a single experiment run reads. Each run gets
@@ -38,6 +41,14 @@ type RunConfig struct {
 	// each experiment's own default (3 for e2, 1 for the single-run
 	// experiments).
 	Repeats int
+	// Recorder receives the run's observability stream (training curves,
+	// cache hit rates, per-node radio scalars, stage timings). Nil disables
+	// observation entirely — the instrumented paths cost one nil check.
+	// Recording never draws from any rng stream and never reorders
+	// arithmetic, so results are byte-identical with and without it. Clone
+	// shares the recorder (interface copy), so per-run variants derived
+	// from one base config feed one registry unless reassigned.
+	Recorder obs.Recorder
 }
 
 // Package default config backing the deprecated Set* shims. This is the
@@ -213,6 +224,19 @@ func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if rec := cfg.Recorder; rec != nil {
+		// The resolved config, as gauges, so an exported snapshot is
+		// self-describing about the run that produced it. Raw field values
+		// (not the NumCPU-resolved worker count) keep these deterministic.
+		rec.Gauge("config_seed", float64(cfg.Seed))
+		rec.Gauge("config_trainworkers", float64(cfg.TrainWorkers))
+		rec.Gauge("config_sample_scale", cfg.SampleScale)
+		rec.Gauge("config_repeats", float64(cfg.Repeats))
+		if cfg.Loss.Enabled {
+			rec.Gauge("config_loss_drop_prob", cfg.Loss.DropProb)
+			rec.Gauge("config_loss_max_retries", float64(cfg.Loss.MaxRetries))
+		}
+	}
 	now := time.Now()
 	return &harness{ctx: ctx, cfg: cfg, t0: now, last: now, timings: Timings{}}, nil
 }
@@ -228,10 +252,53 @@ func (h *harness) mark(stage string) {
 
 // finish stamps the total wall time, attaches the timings to the result,
 // and returns it, so experiments can `return h.finish(res), nil`.
+//
+// With a snapshotting Recorder configured, finish also mirrors the stage
+// timings into walltime_-prefixed gauges (stripped by Snapshot.Deterministic,
+// like Timings itself is stripped by diffing tools) and attaches the
+// recorder's snapshot as Result.Metrics.
 func (h *harness) finish(res *Result) *Result {
 	h.timings[StageTotal] = time.Since(h.t0)
 	res.Timings = h.timings
+	if rec := h.cfg.Recorder; rec != nil {
+		for _, stage := range h.timings.Stages() {
+			rec.Gauge(obs.WallTimePrefix+"stage_"+stage+"_seconds", h.timings[stage].Seconds())
+		}
+		if s, ok := rec.(obs.Snapshotter); ok {
+			res.Metrics = s.Snapshot()
+		}
+	}
 	return res
+}
+
+// observeWSN publishes a network's radio and routing state under prefix:
+// the per-node cumulative Tx/Rx charge scalars as two series (one point per
+// node, in node order, so the export is deterministic) and the route-cache
+// hit/miss totals as gauges. A no-op without a recorder.
+func (h *harness) observeWSN(prefix string, w *wsn.Network) {
+	rec := h.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	for i := 0; i < w.NumNodes(); i++ {
+		rec.Observe(prefix+"node_tx_scalars", float64(w.Node(i).TxScalars))
+		rec.Observe(prefix+"node_rx_scalars", float64(w.Node(i).RxScalars))
+	}
+	hits, misses := w.RouteCacheStats()
+	rec.Gauge(prefix+"route_cache_hits", float64(hits))
+	rec.Gauge(prefix+"route_cache_misses", float64(misses))
+}
+
+// observePlanCache publishes a unit graph's transfer-plan cache hit/miss
+// totals under prefix. A no-op without a recorder.
+func (h *harness) observePlanCache(prefix string, g *microdeep.Graph) {
+	rec := h.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	hits, misses := g.PlanCacheStats()
+	rec.Gauge(prefix+"plan_cache_hits", float64(hits))
+	rec.Gauge(prefix+"plan_cache_misses", float64(misses))
 }
 
 // averageOver is the shared repeats-averaging loop: it runs fn for every

@@ -79,6 +79,54 @@ func TestDeprecatedShimsFlowIntoDefault(t *testing.T) {
 	}
 }
 
+// TestDeprecatedShimsRaceWithRuns hammers the deprecated Set*/getter shims
+// from a background goroutine while experiments run — the scenario the
+// defaultMu guard exists for. Meaningful under -race (ci.sh runs the suite
+// with it): an unguarded package default is a detector hit here. The shim
+// values written are all valid configs, so runs snapshotting mid-hammer
+// still pass beginRun validation.
+func TestDeprecatedShimsRaceWithRuns(t *testing.T) {
+	defer SetTrainWorkers(0)
+	defer SetLossConfig(LossConfig{})
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lossOn := DefaultLossConfig()
+		lossOn.Enabled = true
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetTrainWorkers(i % 4)
+			_ = TrainWorkers()
+			if i%2 == 0 {
+				SetLossConfig(lossOn)
+			} else {
+				SetLossConfig(LossConfig{})
+			}
+			_ = CurrentLossConfig()
+		}
+	}()
+
+	e, err := FindExperiment("e7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		// A nil config snapshots the package default mid-hammer — the
+		// racy read path the mutex must make safe.
+		if _, err := e.Run(context.Background(), nil); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	close(stop)
+	<-done
+}
+
 func TestScaled(t *testing.T) {
 	// Identity at the default scale for every base the experiments use.
 	c := &RunConfig{SampleScale: 1}
