@@ -2,6 +2,7 @@ package zeiot_test
 
 import (
 	"context"
+	"strconv"
 	"testing"
 	"time"
 
@@ -255,6 +256,79 @@ func BenchmarkWSNRouting(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchTrainSamples builds a deterministic labelled sample set matching
+// benchNet's input shape.
+func benchTrainSamples(n int) []cnn.Sample {
+	s := rng.New(77)
+	out := make([]cnn.Sample, n)
+	for i := range out {
+		in := tensor.New(1, 17, 25)
+		d := in.Data()
+		for j := range d {
+			d[j] = s.NormMeanStd(0, 1)
+		}
+		out[i] = cnn.Sample{Input: in, Label: i % 2}
+	}
+	return out
+}
+
+// BenchmarkCNNTrainEpochBatched compares one training epoch through the
+// batched im2col/GEMM engine against the per-sample path (the kernel1
+// sub-benchmark) on the same net, data, and batch size. Results are
+// bit-identical across all variants; only samples_per_sec moves.
+func BenchmarkCNNTrainEpochBatched(b *testing.B) {
+	samples := benchTrainSamples(64)
+	perm := make([]int, len(samples))
+	for i := range perm {
+		perm[i] = i
+	}
+	for _, kernel := range []int{1, 4, 8, 16} {
+		b.Run("kernel"+strconv.Itoa(kernel), func(b *testing.B) {
+			net, _ := benchNet(6)
+			opt := cnn.NewSGD(0.01, 0.9)
+			run := func() {
+				if kernel <= 1 {
+					net.TrainEpoch(samples, perm, 16, opt)
+				} else {
+					net.TrainEpochBatched(samples, perm, 16, kernel, opt)
+				}
+			}
+			run() // warm scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(len(samples))/b.Elapsed().Seconds(), "samples_per_sec")
+		})
+	}
+}
+
+// BenchmarkQuantForward compares int8 fixed-point inference against the
+// float forward pass on the same trained net.
+func BenchmarkQuantForward(b *testing.B) {
+	net, in := benchNet(7)
+	qn, err := cnn.QuantizeNetwork(net, []cnn.Sample{{Input: in, Label: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("float", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.Forward(in)
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		qn.Forward(in) // warm (build-time buffers only; proves no lazy alloc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qn.Forward(in)
+		}
+	})
 }
 
 func BenchmarkE11BatteryFree(b *testing.B)   { benchExperiment(b, "e11") }

@@ -10,6 +10,8 @@
 //	zeiotbench -samples 0.5    # scale dataset/trial sizes (quick sweeps)
 //	zeiotbench -repeats 5      # override accuracy-averaging repeat counts
 //	zeiotbench -loss 0.1       # lossy-link fault injection (e8/e11 gain loss dimensions)
+//	zeiotbench -batchkernel 8  # batched im2col/GEMM CNN training (results unchanged)
+//	zeiotbench -quant          # add int8 fixed-point inference rows (e1/e2/e13)
 //	zeiotbench -timings        # keep per-stage wall times in the output
 //	zeiotbench -metrics        # collect observability metrics; keep them in -json output
 //	zeiotbench -metrics-out m.prom  # also export them as Prometheus text
@@ -17,8 +19,9 @@
 //	zeiotbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	zeiotbench -list           # list experiments
 //
-// The per-run flags -trainworkers, -samples, -repeats, -loss, -lossburst and
-// -lossretries also accept a comma-separated list matching the -e list, so
+// The per-run flags -trainworkers, -samples, -repeats, -loss, -lossburst,
+// -lossretries, -batchkernel and -quant also accept a comma-separated list
+// matching the -e list, so
 // -parallel can legally run differently-configured experiments concurrently:
 //
 //	zeiotbench -e e1,e8 -parallel 2 -trainworkers 1,4 -loss 0,0.1
@@ -88,6 +91,8 @@ func run() int {
 		loss     = flag.String("loss", "0", "per-link drop probability for fault injection (0 = disabled; e8 gains a loss sweep, e11 charges retransmission energy)")
 		lossB    = flag.String("lossburst", "false", "use Gilbert-Elliott burst loss instead of independent drops")
 		lossR    = flag.String("lossretries", "3", "max retransmissions per hop for the reliable transport (0 = no retries)")
+		batchK   = flag.String("batchkernel", "0", "batched im2col/GEMM CNN training block size (0/1 = per-sample; any value yields bit-identical results)")
+		quant    = flag.String("quant", "false", "add int8 fixed-point inference accuracy rows to the CNN experiments (e1/e2/e13)")
 		metrics  = flag.Bool("metrics", false, "collect observability metrics and keep the metrics block in -json output")
 		metOut   = flag.String("metrics-out", "", "write collected metrics as Prometheus text to this path (implies collection)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while experiments run")
@@ -181,13 +186,21 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals)
+	bkVals, err := perRun("batchkernel", *batchK, n, strconv.Atoi)
+	if err != nil {
+		return fail(err)
+	}
+	qVals, err := perRun("quant", *quant, n, strconv.ParseBool)
+	if err != nil {
+		return fail(err)
+	}
+	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals)
 }
 
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings, metrics bool, metricsOut string,
-	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int) int {
+	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool) int {
 
 	// Loss options explicitly passed while every run has -loss 0 would be
 	// silently dead; surface them so RunConfig.Validate rejects the combination.
@@ -223,6 +236,8 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 		rc.TrainWorkers = twVals[i]
 		rc.SampleScale = scVals[i]
 		rc.Repeats = rpVals[i]
+		rc.BatchKernel = bkVals[i]
+		rc.Quantize = qVals[i]
 		if lossVals[i] > 0 {
 			lc := zeiot.DefaultLossConfig()
 			lc.Enabled = true

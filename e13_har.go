@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"zeiot/internal/cnn"
 	"zeiot/internal/har"
 	"zeiot/internal/ml"
 	"zeiot/internal/rng"
@@ -83,5 +84,45 @@ func RunE13AthleteHAR(ctx context.Context, rc *RunConfig) (*Result, error) {
 		res.Summary["abl_"+sanitizeKey(clf.name)] = acm.Accuracy()
 	}
 	h.mark(StageEval)
+
+	// Optional neural ablation with int8 deployment accuracy: a small dense
+	// CNN over the same chatter-rate features, scored in float and in
+	// fixed-point int8 — the arithmetic the worn zero-energy node would run.
+	// Everything here draws from fresh named rng splits strictly after the
+	// rows above, so default-config outputs keep their bytes.
+	if h.cfg.Quantize {
+		qtrainD, err := har.GenerateDataset(cfg, h.cfg.scaled(24), root.Split("quant-train"))
+		if err != nil {
+			return nil, err
+		}
+		qtestD, err := har.GenerateDataset(cfg, h.cfg.scaled(10), root.Split("quant-test"))
+		if err != nil {
+			return nil, err
+		}
+		qtrain, qtest := featureSamples(qtrainD), featureSamples(qtestD)
+		nf := len(qtrainD.X[0])
+		sQ := root.Split("quant-net")
+		net := cnn.NewNetwork([]int{nf},
+			cnn.NewDense(nf, 24, sQ.Split("d1")),
+			cnn.NewReLU(),
+			cnn.NewDense(24, har.NumActivities(), sQ.Split("d2")),
+		)
+		net.SetBatchKernel(h.cfg.BatchKernel)
+		net.Fit(qtrain, 30, 16, cnn.NewSGD(0.05, 0.9), sQ.Split("fit"))
+		h.mark(StageTrain)
+		floatAcc := net.Evaluate(qtest)
+		qacc, agree, err := h.quantEval("har_", net, qtrain, qtest)
+		if err != nil {
+			return nil, err
+		}
+		h.mark(StageEval)
+		res.Rows = append(res.Rows,
+			[]string{"cnn (dense), float", pct(floatAcc), ""},
+			[]string{"cnn (dense), int8", pct(qacc), f3(agree)},
+		)
+		res.Summary["acc_cnn_float"] = floatAcc
+		res.Summary["acc_cnn_quant"] = qacc
+		res.Summary["quant_agreement"] = agree
+	}
 	return h.finish(res), nil
 }

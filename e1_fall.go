@@ -57,6 +57,7 @@ func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		m.SetBatchKernel(h.cfg.BatchKernel)
 		m.SetRecorder(h.cfg.Recorder, "optimal_", test)
 		m.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sOpt.Split("fit"))
 		h.mark(StageTrain)
@@ -99,6 +100,7 @@ func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
 			return 0, err
 		}
 		m.EnableLocalUpdate()
+		m.SetBatchKernel(h.cfg.BatchKernel) // no-op with local updates (replica convs)
 		m.SetRecorder(h.cfg.Recorder, "feasible_", test)
 		m.FitParallel(train, 12, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sFea.Split("fit"))
 		h.mark(StageTrain)
@@ -155,5 +157,21 @@ func RunE1FallCommCost(ctx context.Context, rc *RunConfig) (*Result, error) {
 		[]string{"(b) local updates / step", "", fi(costFea.Max), "", fi(costFea.Total), ""},
 	)
 	res.Summary["sync_max_cost_opt"] = float64(syncOpt.Max)
+
+	// Optional int8 accuracy-vs-cost row: how the optimal model fares under
+	// fixed-point inference (the arithmetic a zero-energy node can afford).
+	// Runs strictly after the float results above, so default summaries keep
+	// their bytes.
+	if h.cfg.Quantize {
+		qacc, agree, err := h.quantEval("optimal_", mOpt.Net, train, test)
+		if err != nil {
+			return nil, err
+		}
+		h.mark(StageEval)
+		res.Rows = append(res.Rows,
+			[]string{"(a) optimal, int8 inference", pct(qacc), fi(costOpt.Max), "", "", ""})
+		res.Summary["acc_optimal_quant"] = qacc
+		res.Summary["quant_agreement"] = agree
+	}
 	return h.finish(res), nil
 }

@@ -64,11 +64,14 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 	h.mark(StageDataset)
 
 	repeats := h.cfg.repeatsOr(e2Repeats)
+	var stdNet *cnn.Network // last repeat's trained standard net, for optional int8 eval
 	accStd, err := h.trainAveraged(root, "std", repeats, func(sStd *rng.Stream) (float64, error) {
 		standard := loungeNet(sStd)
+		standard.SetBatchKernel(h.cfg.BatchKernel)
 		standard.SetRecorder(h.cfg.Recorder, "standard_", test)
 		standard.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), sStd.Split("fit"))
 		h.mark(StageTrain)
+		stdNet = standard
 		acc := standard.Evaluate(test)
 		h.mark(StageEval)
 		return acc, nil
@@ -88,6 +91,7 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 			return 0, err
 		}
 		m.EnableLocalUpdate()
+		m.SetBatchKernel(h.cfg.BatchKernel) // no-op with local updates (replica convs)
 		m.SetRecorder(h.cfg.Recorder, "microdeep_", test)
 		m.FitParallel(train, 12, 16, h.cfg.workers(), cnn.NewSGD(0.01, 0.9), sMD.Split("fit"))
 		h.mark(StageTrain)
@@ -164,6 +168,21 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 		},
 		Notes: fmt.Sprintf("%d of the paper's 2,961 samples (runtime bound), 50 nodes over 17×25 cells; replica divergence %.4f",
 			cfg.Samples, md.ReplicaDivergence()),
+	}
+
+	// Optional int8 accuracy row for the standard CNN: fixed-point inference
+	// is what a sensing deployment would actually run on the nodes. Strictly
+	// additive — default summaries keep their bytes.
+	if h.cfg.Quantize {
+		qacc, agree, err := h.quantEval("standard_", stdNet, train, test)
+		if err != nil {
+			return nil, err
+		}
+		h.mark(StageEval)
+		res.Rows = append(res.Rows,
+			[]string{"standard CNN, int8 inference", pct(qacc), "", ""})
+		res.Summary["acc_standard_quant"] = qacc
+		res.Summary["quant_agreement"] = agree
 	}
 	return h.finish(res), nil
 }

@@ -69,3 +69,52 @@ func TestConvBackwardAllocFree(t *testing.T) {
 		t.Errorf("Conv2D Forward+Backward allocates %.1f objects/op after warm-up, want <= 2", allocs)
 	}
 }
+
+// TestTrainEpochBatchedAllocSteadyState pins the batched training path's
+// steady-state allocation budget: after the first epoch builds the kernel
+// slots and per-layer scratch, later epochs must stay within a small
+// fixed budget (worker goroutine bookkeeping, not per-sample or per-block
+// buffers — the im2col patch, GEMM outputs and winner lists are all reused).
+func TestTrainEpochBatchedAllocSteadyState(t *testing.T) {
+	net, _ := allocNet(3)
+	s := rng.New(11)
+	samples := make([]Sample, 64)
+	for i := range samples {
+		in := tensor.New(1, 17, 25)
+		d := in.Data()
+		for j := range d {
+			d[j] = s.NormMeanStd(0, 1)
+		}
+		samples[i] = Sample{Input: in, Label: i % 2}
+	}
+	perm := make([]int, len(samples))
+	for i := range perm {
+		perm[i] = i
+	}
+	opt := NewSGD(0.01, 0.9)
+	net.TrainEpochBatched(samples, perm, 16, 8, opt) // warm slots and scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		net.TrainEpochBatched(samples, perm, 16, 8, opt)
+	})
+	if allocs > 64 {
+		t.Errorf("TrainEpochBatched allocates %.1f objects/epoch after warm-up, want <= 64", allocs)
+	}
+}
+
+// TestQuantForwardAllocFree guards the quantized pipeline's build-time
+// buffer sizing: once warmed, Forward and Classify must not allocate at all.
+func TestQuantForwardAllocFree(t *testing.T) {
+	net, in := allocNet(5)
+	qn, err := QuantizeNetwork(net, []Sample{{Input: in, Label: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn.Forward(in) // warm (build-time buffers only)
+	allocs := testing.AllocsPerRun(100, func() {
+		qn.Forward(in)
+		qn.Classify(in)
+	})
+	if allocs != 0 {
+		t.Errorf("quantized Forward+Classify allocates %.1f objects/op after warm-up, want 0", allocs)
+	}
+}

@@ -15,6 +15,9 @@ type AvgPool2D struct {
 	inShape      []int
 	counts       []int // cells actually inside each output's window
 	out, gradIn  *tensor.Tensor
+	// Batched-path scratch (see batch.go).
+	bInShape      []int
+	outB, gradInB *tensor.Tensor
 }
 
 var (

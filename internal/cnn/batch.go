@@ -1,0 +1,1751 @@
+package cnn
+
+// Batched training engine: im2col/GEMM kernels that process a block of B
+// samples per layer call instead of one, bit-identical to the per-sample
+// path.
+//
+// # Packed layouts
+//
+// Spatial activations travel as 4-D (C, B, H, W) tensors — channel-major
+// with the batch dimension second, so each (channel, sample) plane is a
+// contiguous H×W run and the flattened (C, B·H·W) view is exactly the GEMM
+// output layout of the convolution. Flat activations travel as 2-D (B, F)
+// tensors, one row per sample. Flatten converts between the two.
+//
+// # Bit-identity argument
+//
+// TrainEpoch is the reference. Its result is fixed by the per-element
+// elementary accumulation order: every output/gradient tensor element is an
+// independent accumulator, float64 stores are exact (no extended precision),
+// so any reorganization that feeds each element the same terms in the same
+// order produces the same bits. The batched kernels preserve that order
+// everywhere:
+//
+//   - Conv forward: each output element is seeded with its bias and then
+//     receives its im2col column terms in ascending (ic, ky, kx) order via
+//     MatMulAddInto — the serial loop's exact order. Padding cells hold 0 in
+//     the patch matrix, so the GEMM adds w·0 terms the serial path skips;
+//     adding ±0 never changes a sum that is not -0.0, and the running sums
+//     here cannot reach -0.0 (IEEE-754 round-to-nearest only yields -0.0
+//     from (-0.0)+(-0.0)).
+//   - Conv backward: gradB/gradW/gradIn keep the serial sparse loops with
+//     the block's samples outermost, so each element sees its contributions
+//     in (sample, oy, ox, oc) order — the order TrainEpoch produces across
+//     consecutive samples.
+//   - Dense: forward, the weight-gradient GEMM and the input-gradient GEMM
+//     all accumulate in ascending feature/sample/output order, matching the
+//     serial loops term for term (zero-skip differences are ±0 no-ops as
+//     above, on accumulators that start at +0).
+//   - ReLU/pooling/flatten: element-wise or per-plane operations applied in
+//     the serial scan order; only the memory layout changes.
+//
+// Within one optimizer mini-batch the engine runs kernel-sized blocks in
+// ascending sample order, so gradients accumulate across blocks exactly as
+// they do across samples. When composed with workers, the forward passes of
+// a mini-batch's blocks run concurrently on shadow layer stacks (as in
+// TrainEpochParallelFunc), and the backward reductions then run sequentially
+// in block order — hence bit-identical at any worker count.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"zeiot/internal/tensor"
+)
+
+// batchLayer is implemented by layers that can process a packed block of
+// samples in one call. forwardBatch consumes a packed batch (spatial
+// (C,B,H,W) or flat (B,F)) and returns the packed outputs; backwardBatch
+// consumes packed output gradients, accumulates parameter gradients in the
+// same per-element order as per-sample Backward over the block's samples in
+// order, and returns the packed input gradients (nil when withInGrad is
+// false). Both return scratch owned by the layer, with the same ownership
+// rules as Forward/Backward.
+type batchLayer interface {
+	supportsBatch() bool
+	forwardBatch(in *tensor.Tensor) *tensor.Tensor
+	backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor
+}
+
+// ensureView2 returns a cached 2-D tensor viewing data, rebuilding the
+// wrapper only when the backing array or shape changed (so steady-state
+// blocks allocate nothing).
+func ensureView2(v *tensor.Tensor, data []float64, r, c int) *tensor.Tensor {
+	if v != nil && sameBacking(v.Data(), data) && v.Dim(0) == r && v.Dim(1) == c {
+		return v
+	}
+	return tensor.FromSlice(data, r, c)
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D
+
+// supportsBatch implements batchLayer: per-position kernel replicas (the
+// MicroDeep local-update mode) make a shared-weight GEMM impossible, so
+// hooked layers fall back to the per-sample paths.
+func (c *Conv2D) supportsBatch() bool { return c.kernelFor == nil }
+
+// im2col packs the batched input (InC, B, H, W) into the patch matrix
+// (InC·KH·KW, B·oh·ow): row q = (ic, ky, kx) holds, for every flattened
+// output position p = (b, oy, ox), the input value under that kernel offset,
+// with zeros where the window reads padding.
+func (c *Conv2D) im2col(ind []float64, bsz, h, w, oh, ow int) {
+	pd := c.patch.Data()
+	bp := bsz * oh * ow
+	q := 0
+	for ic := 0; ic < c.InC; ic++ {
+		for ky := 0; ky < c.KH; ky++ {
+			for kx := 0; kx < c.KW; kx++ {
+				qrow := pd[q*bp : (q+1)*bp]
+				q++
+				for b := 0; b < bsz; b++ {
+					plane := ind[(ic*bsz+b)*h*w : (ic*bsz+b+1)*h*w]
+					for oy := 0; oy < oh; oy++ {
+						dst := qrow[(b*oh+oy)*ow : (b*oh+oy)*ow+ow]
+						iy := oy*c.Stride - c.Pad + ky
+						if iy < 0 || iy >= h {
+							clear(dst)
+							continue
+						}
+						row := plane[iy*w : (iy+1)*w]
+						if c.Stride == 1 {
+							// In-range columns: 0 <= ox-Pad+kx < w.
+							lo := c.Pad - kx
+							if lo < 0 {
+								lo = 0
+							}
+							hi := w + c.Pad - kx
+							if hi > ow {
+								hi = ow
+							}
+							if hi < lo {
+								hi = lo
+							}
+							clear(dst[:lo])
+							copy(dst[lo:hi], row[lo-c.Pad+kx:hi-c.Pad+kx])
+							clear(dst[hi:])
+							continue
+						}
+						for ox := range dst {
+							ix := ox*c.Stride - c.Pad + kx
+							if ix < 0 || ix >= w {
+								dst[ox] = 0
+							} else {
+								dst[ox] = row[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardBatch implements batchLayer: one bias-seeded GEMM
+// (OutC, CKK) × (CKK, B·oh·ow) per block.
+func (c *Conv2D) forwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	return c.forwardBatchImpl(in, false)
+}
+
+// forwardBatchReLU is forwardBatch with the following ReLU layer fused into
+// the GEMM's final store (see forwardBatchAll); the returned block already
+// holds the activated values.
+func (c *Conv2D) forwardBatchReLU(in *tensor.Tensor) *tensor.Tensor {
+	return c.forwardBatchImpl(in, true)
+}
+
+func (c *Conv2D) forwardBatchImpl(in *tensor.Tensor, relu bool) *tensor.Tensor {
+	if in.Dims() != 4 || in.Dim(0) != c.InC {
+		panic(fmt.Sprintf("cnn: batched conv input shape %v, want (%d,B,H,W)", in.Shape(), c.InC))
+	}
+	bsz, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: conv output collapses for input %v", in.Shape()))
+	}
+	c.lastInB = in
+	c.outB = tensor.Ensure(c.outB, c.OutC, bsz, oh, ow)
+	if c.InC == 1 && c.KH == 3 && c.KW == 3 && c.Stride == 1 && c.Pad == 1 && h >= 3 && w >= 3 {
+		c.forwardDirect3x1(in.Data(), c.outB.Data(), bsz, h, w, relu)
+		return c.outB
+	}
+	bp := bsz * oh * ow
+	ckk := c.InC * c.KH * c.KW
+	c.patch = tensor.Ensure(c.patch, ckk, bp)
+	c.im2col(in.Data(), bsz, h, w, oh, ow)
+	c.out2 = ensureView2(c.out2, c.outB.Data(), c.OutC, bp)
+	c.w2 = ensureView2(c.w2, c.weight.Data(), c.OutC, ckk)
+	tensor.MatMulBiasInto(c.out2, c.w2, c.patch, c.bias.Data(), relu)
+	return c.outB
+}
+
+// forwardDirect3x1 is the im2col-free fast path for single-input-channel
+// 3×3/stride-1/pad-1 convolutions: the nine weights stay in registers and
+// slide over three input row slices per output row, writing each output (and
+// its fused ReLU) in one pass with no patch matrix. Every output element
+// still accumulates bias first and then its window terms in (ky, kx)
+// ascending order with the padding terms skipped — the serial loop's exact
+// sequence, so the result is bit-identical to the GEMM path (which adds the
+// padding terms as ±0 no-ops instead).
+func (c *Conv2D) forwardDirect3x1(ind, outd []float64, bsz, h, w int, relu bool) {
+	chw := h * w
+	wd := c.weight.Data()
+	bd := c.bias.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := bd[oc]
+		k := wd[oc*9 : oc*9+9]
+		k0, k1, k2 := k[0], k[1], k[2]
+		k3, k4, k5 := k[3], k[4], k[5]
+		k6, k7, k8 := k[6], k[7], k[8]
+		for b := 0; b < bsz; b++ {
+			plane := ind[b*chw : (b+1)*chw]
+			od := outd[(oc*bsz+b)*chw : (oc*bsz+b+1)*chw]
+			for y := 0; y < h; y++ {
+				orow := od[y*w : y*w+w]
+				iy := y - 1
+				switch {
+				case iy < 0:
+					// Top row: window rows 1,2 over input rows 0,1.
+					r1 := plane[:w]
+					r2 := plane[w : 2*w]
+					v := bias
+					v += k4 * r1[0]
+					v += k5 * r1[1]
+					v += k7 * r2[0]
+					v += k8 * r2[1]
+					if relu {
+						v = reluMask(v)
+					}
+					orow[0] = v
+					for x := 1; x < w-1; x++ {
+						j := x - 1
+						v := bias
+						v += k3 * r1[j]
+						v += k4 * r1[j+1]
+						v += k5 * r1[j+2]
+						v += k6 * r2[j]
+						v += k7 * r2[j+1]
+						v += k8 * r2[j+2]
+						if relu {
+							v = reluMask(v)
+						}
+						orow[x] = v
+					}
+					v = bias
+					v += k3 * r1[w-2]
+					v += k4 * r1[w-1]
+					v += k6 * r2[w-2]
+					v += k7 * r2[w-1]
+					if relu {
+						v = reluMask(v)
+					}
+					orow[w-1] = v
+				case iy+3 > h:
+					// Bottom row: window rows 0,1 over input rows h-2,h-1.
+					r0 := plane[(h-2)*w : (h-1)*w]
+					r1 := plane[(h-1)*w : h*w]
+					v := bias
+					v += k1 * r0[0]
+					v += k2 * r0[1]
+					v += k4 * r1[0]
+					v += k5 * r1[1]
+					if relu {
+						v = reluMask(v)
+					}
+					orow[0] = v
+					for x := 1; x < w-1; x++ {
+						j := x - 1
+						v := bias
+						v += k0 * r0[j]
+						v += k1 * r0[j+1]
+						v += k2 * r0[j+2]
+						v += k3 * r1[j]
+						v += k4 * r1[j+1]
+						v += k5 * r1[j+2]
+						if relu {
+							v = reluMask(v)
+						}
+						orow[x] = v
+					}
+					v = bias
+					v += k0 * r0[w-2]
+					v += k1 * r0[w-1]
+					v += k3 * r1[w-2]
+					v += k4 * r1[w-1]
+					if relu {
+						v = reluMask(v)
+					}
+					orow[w-1] = v
+				default:
+					r0 := plane[iy*w : iy*w+w]
+					r1 := plane[(iy+1)*w : (iy+2)*w]
+					r2 := plane[(iy+2)*w : (iy+3)*w]
+					v := bias
+					v += k1 * r0[0]
+					v += k2 * r0[1]
+					v += k4 * r1[0]
+					v += k5 * r1[1]
+					v += k7 * r2[0]
+					v += k8 * r2[1]
+					if relu {
+						v = reluMask(v)
+					}
+					orow[0] = v
+					// Interior, two outputs per pass: windows at x and x+1
+					// share four of their six loads per input row.
+					x := 1
+					for ; x+1 < w-1; x += 2 {
+						j := x - 1
+						// Highest index first: one bounds check covers the
+						// row's remaining three loads.
+						a3 := r0[j+3]
+						a0, a1, a2 := r0[j], r0[j+1], r0[j+2]
+						b3 := r1[j+3]
+						b0, b1, b2 := r1[j], r1[j+1], r1[j+2]
+						c3 := r2[j+3]
+						c0, c1, c2 := r2[j], r2[j+1], r2[j+2]
+						v := bias
+						v += k0 * a0
+						v += k1 * a1
+						v += k2 * a2
+						v += k3 * b0
+						v += k4 * b1
+						v += k5 * b2
+						v += k6 * c0
+						v += k7 * c1
+						v += k8 * c2
+						u := bias
+						u += k0 * a1
+						u += k1 * a2
+						u += k2 * a3
+						u += k3 * b1
+						u += k4 * b2
+						u += k5 * b3
+						u += k6 * c1
+						u += k7 * c2
+						u += k8 * c3
+						if relu {
+							v = reluMask(v)
+							u = reluMask(u)
+						}
+						orow[x] = v
+						orow[x+1] = u
+					}
+					for ; x < w-1; x++ {
+						j := x - 1
+						v := bias
+						v += k0 * r0[j]
+						v += k1 * r0[j+1]
+						v += k2 * r0[j+2]
+						v += k3 * r1[j]
+						v += k4 * r1[j+1]
+						v += k5 * r1[j+2]
+						v += k6 * r2[j]
+						v += k7 * r2[j+1]
+						v += k8 * r2[j+2]
+						if relu {
+							v = reluMask(v)
+						}
+						orow[x] = v
+					}
+					v = bias
+					v += k0 * r0[w-2]
+					v += k1 * r0[w-1]
+					v += k3 * r1[w-2]
+					v += k4 * r1[w-1]
+					v += k6 * r2[w-2]
+					v += k7 * r2[w-1]
+					if relu {
+						v = reluMask(v)
+					}
+					orow[w-1] = v
+				}
+			}
+		}
+	}
+}
+
+// backwardBatch implements batchLayer. gradB accumulates per channel over
+// the flattened (b, oy, ox) gradient row; gradW and gradIn keep the serial
+// sparse gather/scatter loops with samples outermost (see scatterBatch).
+func (c *Conv2D) backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor {
+	if c.lastInB == nil {
+		panic("cnn: Conv2D batched backward before forward")
+	}
+	in := c.lastInB
+	bsz, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	god := gradOut.Data()
+	bp := bsz * oh * ow
+	gbd := c.gradB.Data()
+	for oc := 0; oc < c.OutC; oc++ {
+		s := gbd[oc]
+		for _, g := range god[oc*bp : (oc+1)*bp] {
+			s += g
+		}
+		gbd[oc] = s
+	}
+	var gid []float64
+	if withInGrad {
+		c.gradInB = tensor.Ensure(c.gradInB, c.InC, bsz, h, w)
+		c.gradInB.Zero()
+		gid = c.gradInB.Data()
+	}
+	c.scatterBatch(gid, god, in.Data(), bsz, h, w, oh, ow)
+	if withInGrad {
+		return c.gradInB
+	}
+	return nil
+}
+
+// scatterBatch accumulates the weight gradients (gathering from the packed
+// input) and, when gid is non-nil, the input gradients (scattering through
+// the shared kernel) for a packed block. Loop order is samples outermost,
+// then (oy, ox, oc) exactly as backwardInto, so every gradW/gradIn element
+// receives the same contributions in the same order as consecutive
+// per-sample Backward calls. Positions whose gradient is zero in every
+// channel are skipped before any window work, and full 3×3/stride-1 windows
+// unroll.
+func (c *Conv2D) scatterBatch(gid, god, ind []float64, bsz, h, w, oh, ow int) {
+	khkw := c.KH * c.KW
+	kcs := c.InC * khkw
+	kd := c.weight.Data()
+	gwd := c.gradW.Data()
+	bp := bsz * oh * ow
+	fast3 := c.KH == 3 && c.KW == 3 && c.Stride == 1
+	chw := h * w
+	for b := 0; b < bsz; b++ {
+		for oy := 0; oy < oh; oy++ {
+			ky0, ky1 := kernelWindow(oy, c.Stride, c.Pad, c.KH, h)
+			iyBase := oy*c.Stride - c.Pad
+			for ox := 0; ox < ow; ox++ {
+				p := (b*oh+oy)*ow + ox
+				any := false
+				for oc := 0; oc < c.OutC; oc++ {
+					if god[oc*bp+p] != 0 {
+						any = true
+						break
+					}
+				}
+				if !any {
+					continue
+				}
+				kx0, kx1 := kernelWindow(ox, c.Stride, c.Pad, c.KW, w)
+				ixBase := ox*c.Stride - c.Pad
+				if fast3 && ky0 == 0 && ky1 == 3 && kx0 == 0 && kx1 == 3 {
+					for oc := 0; oc < c.OutC; oc++ {
+						g := god[oc*bp+p]
+						if g == 0 {
+							continue
+						}
+						kocBase := oc * kcs
+						for ic := 0; ic < c.InC; ic++ {
+							o := (ic*bsz+b)*chw + iyBase*w + ixBase
+							kOff := kocBase + ic*9
+							i0 := ind[o : o+3]
+							i1 := ind[o+w : o+w+3]
+							i2 := ind[o+2*w : o+2*w+3]
+							gk := gwd[kOff : kOff+9]
+							gk[0] += g * i0[0]
+							gk[1] += g * i0[1]
+							gk[2] += g * i0[2]
+							gk[3] += g * i1[0]
+							gk[4] += g * i1[1]
+							gk[5] += g * i1[2]
+							gk[6] += g * i2[0]
+							gk[7] += g * i2[1]
+							gk[8] += g * i2[2]
+							if gid == nil {
+								continue
+							}
+							k := kd[kOff : kOff+9]
+							g0 := gid[o : o+3]
+							g1 := gid[o+w : o+w+3]
+							g2 := gid[o+2*w : o+2*w+3]
+							g0[0] += g * k[0]
+							g0[1] += g * k[1]
+							g0[2] += g * k[2]
+							g1[0] += g * k[3]
+							g1[1] += g * k[4]
+							g1[2] += g * k[5]
+							g2[0] += g * k[6]
+							g2[1] += g * k[7]
+							g2[2] += g * k[8]
+						}
+					}
+					continue
+				}
+				for oc := 0; oc < c.OutC; oc++ {
+					g := god[oc*bp+p]
+					if g == 0 {
+						continue
+					}
+					kocBase := oc * kcs
+					for ic := 0; ic < c.InC; ic++ {
+						icBase := (ic*bsz + b) * chw
+						kicBase := kocBase + ic*khkw
+						for ky := ky0; ky < ky1; ky++ {
+							iOff := icBase + (iyBase+ky)*w + ixBase
+							kOff := kicBase + ky*c.KW
+							if gid == nil {
+								for kx := kx0; kx < kx1; kx++ {
+									gwd[kOff+kx] += g * ind[iOff+kx]
+								}
+								continue
+							}
+							for kx := kx0; kx < kx1; kx++ {
+								gwd[kOff+kx] += g * ind[iOff+kx]
+								gid[iOff+kx] += g * kd[kOff+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// sparseWinner is one routed max-pool gradient in a packed block: the conv
+// output position that won its pooling window (channel oc, sample b, spatial
+// y/x) and the gradient it carries. The emission order — oc-major, then
+// sample, then (y, x) ascending after the per-plane sort — is exactly the
+// per-element accumulation order of the dense scatter, which is what keeps
+// the sparse handoff bit-identical.
+type sparseWinner struct {
+	oc, b, y, x int32
+	g           float64
+}
+
+// backwardBatchSparse consumes the pooling layer's routed winner list
+// directly (see MaxPool2D.backwardBatchSparse): gradB and gradW accumulate
+// only the positions that actually carry gradient, in the same per-element
+// order as the dense scatter, without ever materializing or re-scanning the
+// zero-dominated gradient plane. Only valid as the stack's first layer (no
+// input gradient is produced).
+func (c *Conv2D) backwardBatchSparse(winners []sparseWinner) {
+	if c.lastInB == nil {
+		panic("cnn: Conv2D batched backward before forward")
+	}
+	in := c.lastInB
+	bsz, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	ind := in.Data()
+	gbd := c.gradB.Data()
+	gwd := c.gradW.Data()
+	khkw := c.KH * c.KW
+	kcs := c.InC * khkw
+	chw := h * w
+	fast3 := c.KH == 3 && c.KW == 3 && c.Stride == 1
+	for i := range winners {
+		s := &winners[i]
+		g := s.g
+		oc := int(s.oc)
+		gbd[oc] += g
+		oy, ox := int(s.y), int(s.x)
+		iyBase := oy*c.Stride - c.Pad
+		ixBase := ox*c.Stride - c.Pad
+		kocBase := oc * kcs
+		if fast3 && iyBase >= 0 && ixBase >= 0 && iyBase+3 <= h && ixBase+3 <= w {
+			for ic := 0; ic < c.InC; ic++ {
+				o := (ic*bsz+int(s.b))*chw + iyBase*w + ixBase
+				kOff := kocBase + ic*9
+				i0 := ind[o : o+3]
+				i1 := ind[o+w : o+w+3]
+				i2 := ind[o+2*w : o+2*w+3]
+				gk := gwd[kOff : kOff+9]
+				gk[0] += g * i0[0]
+				gk[1] += g * i0[1]
+				gk[2] += g * i0[2]
+				gk[3] += g * i1[0]
+				gk[4] += g * i1[1]
+				gk[5] += g * i1[2]
+				gk[6] += g * i2[0]
+				gk[7] += g * i2[1]
+				gk[8] += g * i2[2]
+			}
+			continue
+		}
+		ky0, ky1 := kernelWindow(oy, c.Stride, c.Pad, c.KH, h)
+		kx0, kx1 := kernelWindow(ox, c.Stride, c.Pad, c.KW, w)
+		for ic := 0; ic < c.InC; ic++ {
+			icBase := (ic*bsz + int(s.b)) * chw
+			kicBase := kocBase + ic*khkw
+			for ky := ky0; ky < ky1; ky++ {
+				iOff := icBase + (iyBase+ky)*w + ixBase
+				kOff := kicBase + ky*c.KW
+				for kx := kx0; kx < kx1; kx++ {
+					gwd[kOff+kx] += g * ind[iOff+kx]
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+
+func (d *Dense) supportsBatch() bool { return true }
+
+// forwardBatch implements batchLayer: out = in × Wᵀ + bias as one GEMM. The
+// transposed weights let the GEMM stream independent output elements —
+// escaping the serial dot product's add-latency chain — while each element
+// still accumulates its terms in ascending feature order, then adds the
+// bias last, exactly like the serial loop. The transpose is cached until the
+// engine invalidates it after an optimizer step.
+func (d *Dense) forwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	return d.forwardBatchImpl(in, false)
+}
+
+// forwardBatchReLU is forwardBatch with the following ReLU layer fused into
+// the bias pass (see forwardBatchAll).
+func (d *Dense) forwardBatchReLU(in *tensor.Tensor) *tensor.Tensor {
+	return d.forwardBatchImpl(in, true)
+}
+
+func (d *Dense) forwardBatchImpl(in *tensor.Tensor, relu bool) *tensor.Tensor {
+	if in.Dims() != 2 || in.Dim(1) != d.In {
+		panic(fmt.Sprintf("cnn: batched dense input shape %v, want (B,%d)", in.Shape(), d.In))
+	}
+	bsz := in.Dim(0)
+	d.lastInB = in
+	d.wT = tensor.Ensure(d.wT, d.In, d.Out)
+	if !d.wTok {
+		wtd := d.wT.Data()
+		wd := d.weight.Data()
+		for o := 0; o < d.Out; o++ {
+			row := wd[o*d.In : (o+1)*d.In]
+			for i, v := range row {
+				wtd[i*d.Out+o] = v
+			}
+		}
+		d.wTok = true
+	}
+	d.outB = tensor.Ensure(d.outB, bsz, d.Out)
+	d.outB.Zero()
+	tensor.MatMulAddInto(d.outB, in, d.wT)
+	od := d.outB.Data()
+	bd := d.bias.Data()
+	for b := 0; b < bsz; b++ {
+		row := od[b*d.Out : (b+1)*d.Out]
+		if relu {
+			for o, bv := range bd {
+				row[o] = reluMask(row[o] + bv)
+			}
+			continue
+		}
+		for o, bv := range bd {
+			row[o] += bv
+		}
+	}
+	return d.outB
+}
+
+// backwardBatch implements batchLayer. gradB reduces the block's gradient
+// rows in sample order; gradW runs as one GEMM over the transposed block
+// gradient (terms arrive per element in ascending sample order — the serial
+// order — with the serial path's zero-skips appearing as exact ±0 no-ops);
+// gradIn is gradOut × W via MatMulInto, whose zero-skip and ascending-output
+// accumulation match the serial input-gradient loop term for term.
+func (d *Dense) backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor {
+	if d.lastInB == nil {
+		panic("cnn: Dense batched backward before forward")
+	}
+	bsz := gradOut.Dim(0)
+	god := gradOut.Data()
+	gbd := d.gradB.Data()
+	for b := 0; b < bsz; b++ {
+		row := god[b*d.Out : (b+1)*d.Out]
+		for o, g := range row {
+			gbd[o] += g
+		}
+	}
+	d.godT = tensor.Ensure(d.godT, d.Out, bsz)
+	gtd := d.godT.Data()
+	for b := 0; b < bsz; b++ {
+		row := god[b*d.Out : (b+1)*d.Out]
+		for o, g := range row {
+			gtd[o*bsz+b] = g
+		}
+	}
+	d.gw2 = ensureView2(d.gw2, d.gradW.Data(), d.Out, d.In)
+	tensor.MatMulAddInto(d.gw2, d.godT, d.lastInB)
+	if !withInGrad {
+		return nil
+	}
+	d.gradInB = tensor.MatMulInto(d.gradInB, gradOut, d.weight)
+	return d.gradInB
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+
+func (r *ReLU) supportsBatch() bool { return true }
+
+// reluMask is the branchless ReLU select shared by the fused kernels: v for
+// v > 0, +0.0 otherwise — bit-for-bit the serial Forward's arithmetic.
+func reluMask(v float64) float64 {
+	t := math.Float64bits(v)
+	keep := ((t | -t) >> 63) &^ (t >> 63)
+	return math.Float64frombits(t & -keep)
+}
+
+// forwardBatch implements batchLayer: the element-wise branchless select of
+// Forward on the packed block.
+func (r *ReLU) forwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	r.outB = tensor.Ensure(r.outB, in.Shape()...)
+	data := r.outB.Data()
+	for i, v := range in.Data() {
+		t := math.Float64bits(v)
+		keep := ((t | -t) >> 63) &^ (t >> 63)
+		data[i] = math.Float64frombits(t & -keep)
+	}
+	return r.outB
+}
+
+// backwardBatch implements batchLayer.
+func (r *ReLU) backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor {
+	if !withInGrad {
+		return nil
+	}
+	if r.outB == nil || r.outB.Size() != gradOut.Size() {
+		panic(fmt.Sprintf("cnn: batched ReLU backward before forward (grad %d)", gradOut.Size()))
+	}
+	r.gradInB = tensor.Ensure(r.gradInB, gradOut.Shape()...)
+	data := r.gradInB.Data()
+	outd := r.outB.Data()
+	for i, g := range gradOut.Data() {
+		t := math.Float64bits(outd[i])
+		mask := -((t | -t) >> 63)
+		data[i] = math.Float64frombits(math.Float64bits(g) & mask)
+	}
+	return r.gradInB
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+
+func (f *Flatten) supportsBatch() bool { return true }
+
+// forwardBatch implements batchLayer: (C,B,H,W) gathers to (B, C·H·W), each
+// row the row-major (C,H,W) vector the serial Flatten produces; an already
+// flat (B,F) block passes through unchanged.
+func (f *Flatten) forwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	f.bInShape = append(f.bInShape[:0], in.Shape()...)
+	if in.Dims() == 2 {
+		return in
+	}
+	if in.Dims() != 4 {
+		panic(fmt.Sprintf("cnn: batched flatten input shape %v, want (C,B,H,W) or (B,F)", in.Shape()))
+	}
+	ch, bsz, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	hw := h * w
+	n := ch * hw
+	f.outB = tensor.Ensure(f.outB, bsz, n)
+	od := f.outB.Data()
+	id := in.Data()
+	for b := 0; b < bsz; b++ {
+		dst := od[b*n : (b+1)*n]
+		for c := 0; c < ch; c++ {
+			copy(dst[c*hw:(c+1)*hw], id[(c*bsz+b)*hw:(c*bsz+b+1)*hw])
+		}
+	}
+	return f.outB
+}
+
+// backwardBatch implements batchLayer: the inverse scatter of forwardBatch.
+func (f *Flatten) backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor {
+	if !withInGrad {
+		return nil
+	}
+	if len(f.bInShape) == 2 {
+		return gradOut
+	}
+	if len(f.bInShape) != 4 {
+		panic("cnn: batched Flatten backward before forward")
+	}
+	ch, bsz, h, w := f.bInShape[0], f.bInShape[1], f.bInShape[2], f.bInShape[3]
+	hw := h * w
+	n := ch * hw
+	f.gradInB = tensor.Ensure(f.gradInB, ch, bsz, h, w)
+	gd := f.gradInB.Data()
+	god := gradOut.Data()
+	for b := 0; b < bsz; b++ {
+		src := god[b*n : (b+1)*n]
+		for c := 0; c < ch; c++ {
+			copy(gd[(c*bsz+b)*hw:(c*bsz+b+1)*hw], src[c*hw:(c+1)*hw])
+		}
+	}
+	return f.gradInB
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2D
+
+func (p *MaxPool2D) supportsBatch() bool { return true }
+
+// forwardBatch implements batchLayer: every (channel, sample) plane of the
+// packed block is contiguous, so the serial per-plane window code runs
+// unchanged over C·B planes — identical max folds in identical scan order.
+func (p *MaxPool2D) forwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	return p.forwardBatchImpl(in, false)
+}
+
+// forwardBatchReLU is forwardBatch over a raw (pre-activation) block with the
+// preceding ReLU applied to each pooled maximum at the store (see
+// forwardBatchAll; relu and max commute exactly).
+func (p *MaxPool2D) forwardBatchReLU(in *tensor.Tensor) *tensor.Tensor {
+	return p.forwardBatchImpl(in, true)
+}
+
+func (p *MaxPool2D) forwardBatchImpl(in *tensor.Tensor, relu bool) *tensor.Tensor {
+	if in.Dims() != 4 {
+		panic(fmt.Sprintf("cnn: batched pool input shape %v, want (C,B,H,W)", in.Shape()))
+	}
+	p.bInShape = append(p.bInShape[:0], in.Shape()...)
+	p.lastInB = in
+	ch, bsz, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: pool output collapses for input %v", in.Shape()))
+	}
+	p.outB = tensor.Ensure(p.outB, ch, bsz, oh, ow)
+	ind := in.Data()
+	outd := p.outB.Data()
+	idx := 0
+	for cb := 0; cb < ch*bsz; cb++ {
+		cBase := cb * h * w
+		switch {
+		// The size-2/3 fast paths fold each window as a balanced max tree:
+		// the builtin max is associative and commutative (NaN and ±0
+		// included), so regrouping the serial left fold is exact while
+		// cutting the dependency chain in half.
+		case p.Size == 2:
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					o := row + ox*p.Stride
+					r0 := ind[o : o+2]
+					r1 := ind[o+w : o+w+2]
+					m := max(max(r0[0], r0[1]), max(r1[0], r1[1]))
+					if relu {
+						m = reluMask(m)
+					}
+					outd[idx] = m
+					idx++
+				}
+			}
+		case p.Size == 3:
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					o := row + ox*p.Stride
+					r0 := ind[o : o+3]
+					r1 := ind[o+w : o+w+3]
+					r2 := ind[o+2*w : o+2*w+3]
+					m0 := max(max(r0[0], r0[1]), r0[2])
+					m1 := max(max(r1[0], r1[1]), r1[2])
+					m2 := max(max(r2[0], r2[1]), r2[2])
+					m := max(max(m0, m1), m2)
+					if relu {
+						m = reluMask(m)
+					}
+					outd[idx] = m
+					idx++
+				}
+			}
+		default:
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				ky1 := p.Size
+				if iy0+ky1 > h {
+					ky1 = h - iy0
+				}
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox * p.Stride
+					kx1 := p.Size
+					if ix0+kx1 > w {
+						kx1 = w - ix0
+					}
+					best := ind[cBase+iy0*w+ix0]
+					for ky := 0; ky < ky1; ky++ {
+						row := cBase + (iy0+ky)*w + ix0
+						for _, v := range ind[row : row+kx1] {
+							best = max(best, v)
+						}
+					}
+					if relu {
+						best = reluMask(best)
+					}
+					outd[idx] = best
+					idx++
+				}
+			}
+		}
+	}
+	return p.outB
+}
+
+// backwardBatch implements batchLayer: per plane, the serial
+// first-equal-to-max routing in the serial scan order.
+func (p *MaxPool2D) backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor {
+	if !withInGrad {
+		return nil
+	}
+	if len(p.bInShape) != 4 || p.lastInB == nil {
+		panic("cnn: batched MaxPool2D backward before forward")
+	}
+	ch, bsz, h, w := p.bInShape[0], p.bInShape[1], p.bInShape[2], p.bInShape[3]
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	p.gradInB = tensor.Ensure(p.gradInB, ch, bsz, h, w)
+	p.gradInB.Zero()
+	gi := p.gradInB.Data()
+	ind := p.lastInB.Data()
+	outd := p.outB.Data()
+	god := gradOut.Data()
+	idx := 0
+	for cb := 0; cb < ch*bsz; cb++ {
+		cBase := cb * h * w
+		switch {
+		case p.Size == 2:
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					if g == 0 {
+						idx++
+						continue
+					}
+					o := row + ox*p.Stride
+					best := outd[idx]
+					t := o
+					switch {
+					case ind[o] == best:
+					case ind[o+1] == best:
+						t = o + 1
+					case ind[o+w] == best:
+						t = o + w
+					case ind[o+w+1] == best:
+						t = o + w + 1
+					}
+					gi[t] += g
+					idx++
+				}
+			}
+		case p.Size == 3:
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					if g == 0 {
+						idx++
+						continue
+					}
+					o := row + ox*p.Stride
+					best := outd[idx]
+					t := o
+					switch {
+					case ind[o] == best:
+					case ind[o+1] == best:
+						t = o + 1
+					case ind[o+2] == best:
+						t = o + 2
+					case ind[o+w] == best:
+						t = o + w
+					case ind[o+w+1] == best:
+						t = o + w + 1
+					case ind[o+w+2] == best:
+						t = o + w + 2
+					case ind[o+2*w] == best:
+						t = o + 2*w
+					case ind[o+2*w+1] == best:
+						t = o + 2*w + 1
+					case ind[o+2*w+2] == best:
+						t = o + 2*w + 2
+					}
+					gi[t] += g
+					idx++
+				}
+			}
+		default:
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				ky1 := p.Size
+				if iy0+ky1 > h {
+					ky1 = h - iy0
+				}
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					if g == 0 {
+						idx++
+						continue
+					}
+					ix0 := ox * p.Stride
+					kx1 := p.Size
+					if ix0+kx1 > w {
+						kx1 = w - ix0
+					}
+					best := outd[idx]
+					bestFlat := cBase + iy0*w + ix0
+				find:
+					for ky := 0; ky < ky1; ky++ {
+						row := cBase + (iy0+ky)*w + ix0
+						for kx := 0; kx < kx1; kx++ {
+							if ind[row+kx] == best {
+								bestFlat = row + kx
+								break find
+							}
+						}
+					}
+					gi[bestFlat] += g
+					idx++
+				}
+			}
+		}
+	}
+	return p.gradInB
+}
+
+// backwardBatchReLUGated is backwardBatch with the preceding ReLU layer's
+// backward fused in (see backwardBatchAll). The pool input is the ReLU
+// output, so the ReLU pass mask at the winner cell is just outd != 0 (the
+// winner equals the pooled max): gradient routed to a cell the serial ReLU
+// backward would zero is dropped at the scatter instead of by a full-plane
+// masking pass. Serial order is preserved — non-winner cells stay zero in
+// both formulations, and the winner receives either the identical g or the
+// identical +0 skip.
+func (p *MaxPool2D) backwardBatchReLUGated(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(p.bInShape) != 4 || p.lastInB == nil {
+		panic("cnn: batched MaxPool2D backward before forward")
+	}
+	ch, bsz, h, w := p.bInShape[0], p.bInShape[1], p.bInShape[2], p.bInShape[3]
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	p.gradInB = tensor.Ensure(p.gradInB, ch, bsz, h, w)
+	p.gradInB.Zero()
+	gi := p.gradInB.Data()
+	ind := p.lastInB.Data()
+	outd := p.outB.Data()
+	god := gradOut.Data()
+	idx := 0
+	for cb := 0; cb < ch*bsz; cb++ {
+		cBase := cb * h * w
+		switch {
+		case p.Size == 2:
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					best := outd[idx]
+					if g == 0 || best == 0 {
+						idx++
+						continue
+					}
+					o := row + ox*p.Stride
+					t := o
+					switch {
+					case ind[o] == best:
+					case ind[o+1] == best:
+						t = o + 1
+					case ind[o+w] == best:
+						t = o + w
+					case ind[o+w+1] == best:
+						t = o + w + 1
+					}
+					gi[t] += g
+					idx++
+				}
+			}
+		case p.Size == 3:
+			for oy := 0; oy < oh; oy++ {
+				row := cBase + oy*p.Stride*w
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					best := outd[idx]
+					if g == 0 || best == 0 {
+						idx++
+						continue
+					}
+					o := row + ox*p.Stride
+					t := o
+					switch {
+					case ind[o] == best:
+					case ind[o+1] == best:
+						t = o + 1
+					case ind[o+2] == best:
+						t = o + 2
+					case ind[o+w] == best:
+						t = o + w
+					case ind[o+w+1] == best:
+						t = o + w + 1
+					case ind[o+w+2] == best:
+						t = o + w + 2
+					case ind[o+2*w] == best:
+						t = o + 2*w
+					case ind[o+2*w+1] == best:
+						t = o + 2*w + 1
+					case ind[o+2*w+2] == best:
+						t = o + 2*w + 2
+					}
+					gi[t] += g
+					idx++
+				}
+			}
+		default:
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				ky1 := p.Size
+				if iy0+ky1 > h {
+					ky1 = h - iy0
+				}
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					best := outd[idx]
+					if g == 0 || best == 0 {
+						idx++
+						continue
+					}
+					ix0 := ox * p.Stride
+					kx1 := p.Size
+					if ix0+kx1 > w {
+						kx1 = w - ix0
+					}
+					bestFlat := cBase + iy0*w + ix0
+				find:
+					for ky := 0; ky < ky1; ky++ {
+						row := cBase + (iy0+ky)*w + ix0
+						for kx := 0; kx < kx1; kx++ {
+							if ind[row+kx] == best {
+								bestFlat = row + kx
+								break find
+							}
+						}
+					}
+					gi[bestFlat] += g
+					idx++
+				}
+			}
+		}
+	}
+	return p.gradInB
+}
+
+// backwardBatchSparse is backwardBatchReLUGated emitting a sparse winner
+// list instead of a dense gradient plane, for the Conv2D+ReLU+MaxPool2D
+// stack prefix (see backwardBatchAll). Windows within a plane are visited in
+// pool-output order, which interleaves winner rows; each plane's segment is
+// restored to (y, x) ascending order — the dense scatter's per-element
+// accumulation order — by bucketed emission in the unclipped 2×2/3×3 cases
+// and by an insertion sort in the general case. Requires
+// non-overlapping windows (Stride >= Size): an input cell winning two
+// windows would need its gradients summed before the conv consumes them.
+func (p *MaxPool2D) backwardBatchSparse(gradOut *tensor.Tensor) []sparseWinner {
+	if len(p.bInShape) != 4 || p.lastInB == nil {
+		panic("cnn: batched MaxPool2D backward before forward")
+	}
+	ch, bsz, h, w := p.bInShape[0], p.bInShape[1], p.bInShape[2], p.bInShape[3]
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	ind := p.lastInB.Data()
+	outd := p.outB.Data()
+	god := gradOut.Data()
+	winners := p.spw[:0]
+	idx := 0
+	oc, b := int32(0), int32(0)
+	for cb := 0; cb < ch*bsz; cb++ {
+		cBase := cb * h * w
+		segStart := len(winners)
+		switch {
+		case p.Size == 2:
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				row := cBase + iy0*w
+				p.bkts[0] = p.bkts[0][:0]
+				p.bkts[1] = p.bkts[1][:0]
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					best := outd[idx]
+					if g == 0 || best == 0 {
+						idx++
+						continue
+					}
+					ix0 := ox * p.Stride
+					o := row + ix0
+					dy, dx := int32(0), int32(0)
+					if ind[o+w+1] == best {
+						dy, dx = 1, 1
+					}
+					if ind[o+w] == best {
+						dy, dx = 1, 0
+					}
+					if ind[o+1] == best {
+						dy, dx = 0, 1
+					}
+					if ind[o] == best {
+						dy, dx = 0, 0
+					}
+					p.bkts[dy] = append(p.bkts[dy], sparseWinner{oc, b, int32(iy0) + dy, int32(ix0) + dx, g})
+					idx++
+				}
+				winners = append(winners, p.bkts[0]...)
+				winners = append(winners, p.bkts[1]...)
+			}
+		case p.Size == 3:
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				row := cBase + iy0*w
+				p.bkts[0] = p.bkts[0][:0]
+				p.bkts[1] = p.bkts[1][:0]
+				p.bkts[2] = p.bkts[2][:0]
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					best := outd[idx]
+					if g == 0 || best == 0 {
+						idx++
+						continue
+					}
+					ix0 := ox * p.Stride
+					o := row + ix0
+					// First-equal-to-max routing, branchless: check the nine
+					// cells in descending scan order with conditional
+					// assignments (compiled to CMOVs — the winner cell is
+					// data-dependent, so branches here mispredict), letting
+					// the earliest equal cell's write land last. Winners land
+					// in a per-window-row bucket indexed by their row offset
+					// (again no data-dependent branch); concatenating the
+					// buckets after each window row yields (y, x) ascending
+					// order directly, because non-overlapping windows can't
+					// interleave winners across window rows.
+					dy, dx := int32(0), int32(0)
+					if ind[o+2*w+2] == best {
+						dy, dx = 2, 2
+					}
+					if ind[o+2*w+1] == best {
+						dy, dx = 2, 1
+					}
+					if ind[o+2*w] == best {
+						dy, dx = 2, 0
+					}
+					if ind[o+w+2] == best {
+						dy, dx = 1, 2
+					}
+					if ind[o+w+1] == best {
+						dy, dx = 1, 1
+					}
+					if ind[o+w] == best {
+						dy, dx = 1, 0
+					}
+					if ind[o+2] == best {
+						dy, dx = 0, 2
+					}
+					if ind[o+1] == best {
+						dy, dx = 0, 1
+					}
+					if ind[o] == best {
+						dy, dx = 0, 0
+					}
+					p.bkts[dy] = append(p.bkts[dy], sparseWinner{oc, b, int32(iy0) + dy, int32(ix0) + dx, g})
+					idx++
+				}
+				winners = append(winners, p.bkts[0]...)
+				winners = append(winners, p.bkts[1]...)
+				winners = append(winners, p.bkts[2]...)
+			}
+		default:
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				ky1 := p.Size
+				if iy0+ky1 > h {
+					ky1 = h - iy0
+				}
+				for ox := 0; ox < ow; ox++ {
+					g := god[idx]
+					best := outd[idx]
+					if g == 0 || best == 0 {
+						idx++
+						continue
+					}
+					ix0 := ox * p.Stride
+					kx1 := p.Size
+					if ix0+kx1 > w {
+						kx1 = w - ix0
+					}
+					wy, wx := int32(iy0), int32(ix0)
+				find:
+					for ky := 0; ky < ky1; ky++ {
+						row := cBase + (iy0+ky)*w + ix0
+						for kx := 0; kx < kx1; kx++ {
+							if ind[row+kx] == best {
+								wy, wx = int32(iy0+ky), int32(ix0+kx)
+								break find
+							}
+						}
+					}
+					winners = append(winners, sparseWinner{oc, b, wy, wx, g})
+					idx++
+				}
+			}
+			// Window rows may interleave winner rows here, so restore the
+			// dense scatter's (y, x) ascending order with an insertion sort
+			// over the plane's segment. The Size-specific cases above emit in
+			// sorted order already via the row-offset buckets.
+			seg := winners[segStart:]
+			for i := 1; i < len(seg); i++ {
+				v := seg[i]
+				j := i - 1
+				for j >= 0 && (seg[j].y > v.y || (seg[j].y == v.y && seg[j].x > v.x)) {
+					seg[j+1] = seg[j]
+					j--
+				}
+				seg[j+1] = v
+			}
+		}
+		b++
+		if int(b) == bsz {
+			b = 0
+			oc++
+		}
+	}
+	p.spw = winners
+	return winners
+}
+
+// ---------------------------------------------------------------------------
+// AvgPool2D
+
+func (p *AvgPool2D) supportsBatch() bool { return true }
+
+// forwardBatch implements batchLayer: the serial clipped-window mean per
+// contiguous (channel, sample) plane.
+func (p *AvgPool2D) forwardBatch(in *tensor.Tensor) *tensor.Tensor {
+	if in.Dims() != 4 {
+		panic(fmt.Sprintf("cnn: batched pool input shape %v, want (C,B,H,W)", in.Shape()))
+	}
+	p.bInShape = append(p.bInShape[:0], in.Shape()...)
+	ch, bsz, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("cnn: pool output collapses for input %v", in.Shape()))
+	}
+	p.outB = tensor.Ensure(p.outB, ch, bsz, oh, ow)
+	ind := in.Data()
+	outd := p.outB.Data()
+	if cap(p.counts) < oh*ow {
+		p.counts = make([]int, oh*ow)
+	}
+	p.counts = p.counts[:oh*ow]
+	idx := 0
+	for cb := 0; cb < ch*bsz; cb++ {
+		cBase := cb * h * w
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy * p.Stride
+			ky1 := p.Size
+			if iy0+ky1 > h {
+				ky1 = h - iy0
+			}
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox * p.Stride
+				kx1 := p.Size
+				if ix0+kx1 > w {
+					kx1 = w - ix0
+				}
+				sum := 0.0
+				for ky := 0; ky < ky1; ky++ {
+					row := ind[cBase+(iy0+ky)*w+ix0 : cBase+(iy0+ky)*w+ix0+kx1]
+					for _, v := range row {
+						sum += v
+					}
+				}
+				count := ky1 * kx1
+				outd[idx] = sum / float64(count)
+				if cb == 0 {
+					p.counts[oy*ow+ox] = count
+				}
+				idx++
+			}
+		}
+	}
+	return p.outB
+}
+
+// backwardBatch implements batchLayer.
+func (p *AvgPool2D) backwardBatch(gradOut *tensor.Tensor, withInGrad bool) *tensor.Tensor {
+	if !withInGrad {
+		return nil
+	}
+	if len(p.bInShape) != 4 {
+		panic("cnn: batched AvgPool2D backward before forward")
+	}
+	ch, bsz, h, w := p.bInShape[0], p.bInShape[1], p.bInShape[2], p.bInShape[3]
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	p.gradInB = tensor.Ensure(p.gradInB, ch, bsz, h, w)
+	p.gradInB.Zero()
+	gid := p.gradInB.Data()
+	god := gradOut.Data()
+	for cb := 0; cb < ch*bsz; cb++ {
+		cBase := cb * h * w
+		oBase := cb * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy * p.Stride
+			ky1 := p.Size
+			if iy0+ky1 > h {
+				ky1 = h - iy0
+			}
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox * p.Stride
+				kx1 := p.Size
+				if ix0+kx1 > w {
+					kx1 = w - ix0
+				}
+				g := god[oBase+oy*ow+ox] / float64(p.counts[oy*ow+ox])
+				for ky := 0; ky < ky1; ky++ {
+					row := gid[cBase+(iy0+ky)*w+ix0 : cBase+(iy0+ky)*w+ix0+kx1]
+					for i := range row {
+						row[i] += g
+					}
+				}
+			}
+		}
+	}
+	return p.gradInB
+}
+
+// ---------------------------------------------------------------------------
+// Network engine
+
+// batchSlot is the per-block state of the batched engine: a network (the
+// owner itself for slot 0, shadow stacks for concurrent blocks), the packed
+// input block, the block's labels, and the cross-entropy scratch.
+type batchSlot struct {
+	net    *Network
+	inB    *tensor.Tensor
+	grad   *tensor.Tensor // (bsz, nclass) dLoss/dLogits rows
+	logits *tensor.Tensor
+	labels []int
+	losses []float64
+	bsz    int
+}
+
+// SetBatchKernel sets the block size of the batched im2col/GEMM training
+// engine: Fit, FitParallel and TrainEpochParallel route through it when the
+// kernel is > 1 and every layer supports batching (shared-weight stacks; a
+// MicroDeep local-update model keeps its per-sample replica path). Results
+// are bit-identical to the per-sample paths at any kernel size. Values <= 1
+// restore the per-sample paths.
+func (n *Network) SetBatchKernel(k int) {
+	if k == n.batchKernel {
+		return
+	}
+	n.batchKernel = k
+	n.bslots = nil
+}
+
+// BatchKernel returns the configured batch-kernel block size.
+func (n *Network) BatchKernel() int { return n.batchKernel }
+
+// batchable reports whether the batched engine can run this stack.
+func (n *Network) batchable() bool {
+	if len(n.layers) == 0 {
+		return false
+	}
+	if len(n.inShape) != 1 && len(n.inShape) != 3 {
+		return false
+	}
+	for _, l := range n.layers {
+		bl, ok := l.(batchLayer)
+		if !ok || !bl.supportsBatch() {
+			return false
+		}
+	}
+	out := n.OutShape()
+	return len(out) == 1
+}
+
+// prepare packs the block's samples (perm[start:start+bsz]) into the slot's
+// input tensor and sizes its per-sample scratch.
+func (s *batchSlot) prepare(n *Network, samples []Sample, perm []int, start, bsz, nclass int) {
+	s.bsz = bsz
+	if cap(s.labels) < bsz {
+		s.labels = make([]int, bsz)
+		s.losses = make([]float64, bsz)
+	}
+	s.labels = s.labels[:bsz]
+	s.losses = s.losses[:bsz]
+	s.grad = tensor.Ensure(s.grad, bsz, nclass)
+	if len(n.inShape) == 3 {
+		ch, h, w := n.inShape[0], n.inShape[1], n.inShape[2]
+		hw := h * w
+		s.inB = tensor.Ensure(s.inB, ch, bsz, h, w)
+		dst := s.inB.Data()
+		for j := 0; j < bsz; j++ {
+			smp := samples[perm[start+j]]
+			sd := smp.Input.Data()
+			for c := 0; c < ch; c++ {
+				copy(dst[(c*bsz+j)*hw:(c*bsz+j+1)*hw], sd[c*hw:(c+1)*hw])
+			}
+			s.labels[j] = smp.Label
+		}
+		return
+	}
+	f := n.inShape[0]
+	s.inB = tensor.Ensure(s.inB, bsz, f)
+	dst := s.inB.Data()
+	for j := 0; j < bsz; j++ {
+		smp := samples[perm[start+j]]
+		copy(dst[j*f:(j+1)*f], smp.Input.Data())
+		s.labels[j] = smp.Label
+	}
+}
+
+// forwardBatchAll runs all layers over a packed block. Conv2D+ReLU and
+// Dense+ReLU pairs run fused — the ReLU select folds into the producer's
+// bias pass, skipping one full read-modify-write sweep of the activation
+// block. The skipped ReLU layer's outB is aliased to the fused output so its
+// backwardBatch (and the pool fusion's gate) still see the activation bits
+// they key on; reluMask reproduces the serial ReLU arithmetic bit for bit,
+// so the fused path stays bit-identical.
+func (n *Network) forwardBatchAll(in *tensor.Tensor) *tensor.Tensor {
+	x := in
+	ls := n.layers
+	for i := 0; i < len(ls); i++ {
+		if i+1 < len(ls) {
+			if r, ok := ls[i+1].(*ReLU); ok {
+				switch l := ls[i].(type) {
+				case *Conv2D:
+					// Conv2D+ReLU+MaxPool2D: ReLU and max commute (both
+					// monotone, and reluMask(m) == m bit-for-bit when m > 0),
+					// so the select runs once per pooled output instead of
+					// once per conv output. The pool's winner search and
+					// backward gate work off the raw conv plane plus the
+					// relu'd pooled max, which route gradients to exactly the
+					// cells the unfused path picks.
+					if i+2 < len(ls) {
+						if p, ok2 := ls[i+2].(*MaxPool2D); ok2 {
+							x = p.forwardBatchReLU(l.forwardBatch(x))
+							i += 2
+							continue
+						}
+					}
+					x = l.forwardBatchReLU(x)
+					r.outB = x
+					i++
+					continue
+				case *Dense:
+					x = l.forwardBatchReLU(x)
+					r.outB = x
+					i++
+					continue
+				}
+			}
+		}
+		x = ls[i].(batchLayer).forwardBatch(x)
+	}
+	return x
+}
+
+// backwardBatchAll propagates packed dLoss/dLogits rows through all layers,
+// skipping the first layer's input gradient like Backward. A ReLU feeding a
+// MaxPool2D runs fused: the pool scatter gates each routed gradient on the
+// winner's activation instead of materializing a full-plane masked gradient
+// block. Every non-winner cell's gradient is zero either way, and the winner
+// cell's serial ReLU backward mask is exactly the best != 0 test (post-ReLU
+// values are never -0, and a NaN max keeps the gradient in both paths), so
+// the fusion is bit-identical.
+func (n *Network) backwardBatchAll(grad *tensor.Tensor) {
+	g := grad
+	ls := n.layers
+	i := len(ls) - 1
+	for i >= 1 {
+		if p, ok := ls[i].(*MaxPool2D); ok && i >= 2 {
+			if _, ok2 := ls[i-1].(*ReLU); ok2 {
+				if c, ok3 := ls[0].(*Conv2D); ok3 && i == 2 && p.Stride >= p.Size {
+					// Conv2D+ReLU+MaxPool2D stack prefix: hand the pool's
+					// routed winners straight to the first layer's gradW/gradB
+					// accumulation — no dense gradient plane at all.
+					c.backwardBatchSparse(p.backwardBatchSparse(g))
+					return
+				}
+				g = p.backwardBatchReLUGated(g)
+				i -= 2
+				continue
+			}
+		}
+		g = ls[i].(batchLayer).backwardBatch(g, true)
+		i--
+	}
+	if i == 0 {
+		ls[0].(batchLayer).backwardBatch(g, false)
+	}
+}
+
+// invalidateBatchWeights drops every per-layer derived-weight cache (the
+// Dense wT transpose) across the engine's slot stacks. Must run whenever the
+// underlying parameters may have changed — at epoch entry and after every
+// optimizer step.
+func (n *Network) invalidateBatchWeights() {
+	for _, s := range n.bslots {
+		for _, l := range s.net.layers {
+			if d, ok := l.(*Dense); ok {
+				d.wTok = false
+			}
+		}
+	}
+}
+
+// crossEntropyRows computes per-row softmax cross-entropy over packed logits
+// (bsz, nclass), writing the dLoss/dLogits rows into grad and the per-sample
+// losses into losses. Per row the arithmetic is exactly CrossEntropy's.
+func crossEntropyRows(logits *tensor.Tensor, labels []int, grad *tensor.Tensor, losses []float64) {
+	bsz, nc := logits.Dim(0), logits.Dim(1)
+	ld, gd := logits.Data(), grad.Data()
+	for b := 0; b < bsz; b++ {
+		row := ld[b*nc : (b+1)*nc]
+		grow := gd[b*nc : (b+1)*nc]
+		label := labels[b]
+		if label < 0 || label >= nc {
+			panic(fmt.Sprintf("cnn: label %d for %d classes", label, nc))
+		}
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for i, v := range row {
+			e := math.Exp(v - maxV)
+			grow[i] = e
+			sum += e
+		}
+		for i := range grow {
+			grow[i] /= sum
+		}
+		const eps = 1e-12
+		losses[b] = -math.Log(grow[label] + eps)
+		grow[label] -= 1
+	}
+}
+
+// trainEpochBatched is the batched engine. Mini-batches are split into
+// kernel-sized blocks in ascending sample order; each block runs a packed
+// forward, per-row cross-entropy, and a packed backward. With workers > 1
+// the forward passes of one mini-batch's blocks run concurrently on shadow
+// stacks, and the cross-entropy/backward reductions then run sequentially in
+// block order — the TrainEpochParallelFunc composition, at block
+// granularity. step runs at every mini-batch boundary exactly as in
+// TrainEpochParallelFunc (the caller zeroes its own gradient state). Returns
+// ok=false, having done nothing, when the stack cannot run batched.
+func (n *Network) trainEpochBatched(samples []Sample, perm []int, batch, kernel, workers int, step func(bsz int)) (loss float64, ok bool) {
+	if batch <= 0 {
+		panic("cnn: non-positive batch size")
+	}
+	if kernel <= 1 || !n.batchable() {
+		return 0, false
+	}
+	if kernel > batch {
+		kernel = batch
+	}
+	nclass := n.OutShape()[0]
+	maxBlocks := (batch + kernel - 1) / kernel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > maxBlocks {
+		workers = maxBlocks
+	}
+	if len(n.bslots) == 0 {
+		n.bslots = append(n.bslots, &batchSlot{net: n})
+	}
+	if workers > 1 {
+		for len(n.bslots) < maxBlocks {
+			sn := n.shadowNet()
+			if sn == nil {
+				workers = 1
+				break
+			}
+			n.bslots = append(n.bslots, &batchSlot{net: sn})
+		}
+	}
+	n.invalidateBatchWeights()
+	total := 0.0
+	count := 0
+	for start := 0; start < len(perm); start += batch {
+		end := start + batch
+		if end > len(perm) {
+			end = len(perm)
+		}
+		bsz := end - start
+		nb := (bsz + kernel - 1) / kernel
+		w := workers
+		if w > nb {
+			w = nb
+		}
+		if w > 1 {
+			var wg sync.WaitGroup
+			for g := 0; g < w; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for bi := g; bi < nb; bi += w {
+						s := n.bslots[bi]
+						bs := start + bi*kernel
+						bn := kernel
+						if bs+bn > end {
+							bn = end - bs
+						}
+						s.prepare(n, samples, perm, bs, bn, nclass)
+						s.logits = s.net.forwardBatchAll(s.inB)
+					}
+				}(g)
+			}
+			wg.Wait()
+		}
+		// Sequential reduction in block (= sample) order.
+		for bi := 0; bi < nb; bi++ {
+			s := n.bslots[0]
+			if w > 1 {
+				s = n.bslots[bi]
+			} else {
+				bs := start + bi*kernel
+				bn := kernel
+				if bs+bn > end {
+					bn = end - bs
+				}
+				s.prepare(n, samples, perm, bs, bn, nclass)
+				s.logits = s.net.forwardBatchAll(s.inB)
+			}
+			crossEntropyRows(s.logits, s.labels[:s.bsz], s.grad, s.losses[:s.bsz])
+			for _, l := range s.losses[:s.bsz] {
+				total += l
+				count++
+			}
+			s.net.backwardBatchAll(s.grad)
+		}
+		step(bsz)
+		n.invalidateBatchWeights()
+	}
+	if count == 0 {
+		return 0, true
+	}
+	return total / float64(count), true
+}
+
+// TrainEpochBatched runs one epoch of mini-batch SGD through the batched
+// im2col/GEMM engine with the given kernel block size, bit-identical to
+// TrainEpoch at any kernel size. Stacks the engine cannot run (per-position
+// kernel replicas, external layers) fall back to TrainEpoch.
+func (n *Network) TrainEpochBatched(samples []Sample, perm []int, batch, kernel int, opt *SGD) float64 {
+	if batch <= 0 {
+		panic("cnn: non-positive batch size")
+	}
+	n.ZeroGrads()
+	loss, ok := n.trainEpochBatched(samples, perm, batch, kernel, 1, func(bsz int) {
+		opt.StepNetwork(n, bsz)
+		n.ZeroGrads()
+	})
+	if !ok {
+		return n.TrainEpoch(samples, perm, batch, opt)
+	}
+	return loss
+}

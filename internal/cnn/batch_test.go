@@ -1,0 +1,211 @@
+package cnn
+
+import (
+	"testing"
+
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// trainRef trains net for epochs epochs through the per-sample reference
+// path with a deterministic permutation stream and returns the final loss.
+func trainRef(net *Network, samples []Sample, epochs, batch int, opt *SGD) float64 {
+	s := rng.New(424242)
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		loss = net.TrainEpoch(samples, s.Perm(len(samples)), batch, opt)
+	}
+	return loss
+}
+
+// trainBatched trains net through TrainEpochBatched with the same
+// permutation stream as trainRef.
+func trainBatched(net *Network, samples []Sample, epochs, batch, kernel int, opt *SGD) float64 {
+	s := rng.New(424242)
+	loss := 0.0
+	for e := 0; e < epochs; e++ {
+		loss = net.TrainEpochBatched(samples, s.Perm(len(samples)), batch, kernel, opt)
+	}
+	return loss
+}
+
+// requireSameParams fails unless every parameter tensor of a and b is
+// bit-identical (tolerance zero).
+func requireSameParams(t *testing.T, a, b *Network, ctx string) {
+	t.Helper()
+	for li, l := range a.Layers() {
+		pa, ok := l.(ParamLayer)
+		if !ok {
+			continue
+		}
+		pb := b.Layers()[li].(ParamLayer)
+		for pi, ta := range pa.Params() {
+			if !tensor.Equal(ta, pb.Params()[pi], 0) {
+				t.Fatalf("%s: layer %d (%s) param %d differs from reference", ctx, li, l.Name(), pi)
+			}
+		}
+	}
+}
+
+func spatialSamples(seed uint64, n, ch, h, w, classes int) []Sample {
+	s := rng.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{Input: randomInput(s, ch, h, w), Label: i % classes}
+	}
+	return out
+}
+
+func flatSamples(seed uint64, n, f, classes int) []Sample {
+	s := rng.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{Input: randomInput(s, f), Label: i % classes}
+	}
+	return out
+}
+
+// batchNets returns the architectures the bit-identity suite covers: padded
+// 3×3 convs with max pooling (the fast paths), a stride-2 5×5 conv (the
+// general im2col/scatter path), average pooling, and a dense-only stack on
+// flat input.
+func batchNets() map[string]struct {
+	build   func() *Network
+	samples []Sample
+} {
+	return map[string]struct {
+		build   func() *Network
+		samples []Sample
+	}{
+		"conv3x3-maxpool": {
+			build:   func() *Network { return buildTinyNet(11) },
+			samples: spatialSamples(101, 23, 1, 6, 6, 3),
+		},
+		"conv5x5-stride2": {
+			build: func() *Network {
+				s := rng.New(12)
+				return NewNetwork([]int{2, 9, 9},
+					NewConv2D(2, 3, 5, 5, 2, 1, s.Split("c")),
+					NewReLU(),
+					NewFlatten(),
+					NewDense(3*4*4, 4, s.Split("d")),
+				)
+			},
+			samples: spatialSamples(102, 19, 2, 9, 9, 4),
+		},
+		"conv-avgpool": {
+			build:   func() *Network { return buildFullNet(13) },
+			samples: spatialSamples(103, 21, 1, 8, 8, 2),
+		},
+		"dense-only": {
+			build: func() *Network {
+				s := rng.New(14)
+				return NewNetwork([]int{10},
+					NewDense(10, 16, s.Split("d1")),
+					NewReLU(),
+					NewDense(16, 5, s.Split("d2")),
+				)
+			},
+			samples: flatSamples(104, 33, 10, 5),
+		},
+	}
+}
+
+func TestTrainEpochBatchedBitIdentical(t *testing.T) {
+	for name, tc := range batchNets() {
+		t.Run(name, func(t *testing.T) {
+			ref := tc.build()
+			refLoss := trainRef(ref, tc.samples, 3, 8, NewSGD(0.05, 0.9))
+			// Kernel 16 exceeds the batch size of 8; 3 and 5 leave partial
+			// blocks. All must reproduce the reference bits exactly.
+			for _, kernel := range []int{2, 3, 5, 16} {
+				net := tc.build()
+				loss := trainBatched(net, tc.samples, 3, 8, kernel, NewSGD(0.05, 0.9))
+				if loss != refLoss {
+					t.Fatalf("kernel %d: loss %.17g != reference %.17g", kernel, loss, refLoss)
+				}
+				requireSameParams(t, net, ref, "kernel "+string(rune('0'+kernel)))
+			}
+		})
+	}
+}
+
+// TestTrainEpochParallelUsesBatchKernel exercises the batched engine
+// composed with worker parallelism (run under -race it also checks the
+// shadow-slot forwards never share state).
+func TestTrainEpochParallelUsesBatchKernel(t *testing.T) {
+	for name, tc := range batchNets() {
+		t.Run(name, func(t *testing.T) {
+			ref := tc.build()
+			refLoss := trainRef(ref, tc.samples, 3, 8, NewSGD(0.05, 0.9))
+			for _, workers := range []int{1, 2, 4} {
+				net := tc.build()
+				net.SetBatchKernel(2)
+				opt := NewSGD(0.05, 0.9)
+				s := rng.New(424242)
+				loss := 0.0
+				for e := 0; e < 3; e++ {
+					loss = net.TrainEpochParallel(tc.samples, s.Perm(len(tc.samples)), 8, workers, opt)
+				}
+				if loss != refLoss {
+					t.Fatalf("workers %d: loss %.17g != reference %.17g", workers, loss, refLoss)
+				}
+				requireSameParams(t, net, ref, name)
+			}
+		})
+	}
+}
+
+// TestFitRoutesThroughBatchKernel pins the Fit routing: a configured batch
+// kernel must leave Fit's results bit-identical.
+func TestFitRoutesThroughBatchKernel(t *testing.T) {
+	ref := buildTinyNet(11)
+	samples := spatialSamples(101, 23, 1, 6, 6, 3)
+	refLoss := ref.Fit(samples, 3, 8, NewSGD(0.05, 0.9), rng.New(9).Split("fit"))
+
+	net := buildTinyNet(11)
+	net.SetBatchKernel(8)
+	loss := net.Fit(samples, 3, 8, NewSGD(0.05, 0.9), rng.New(9).Split("fit"))
+	if loss != refLoss {
+		t.Fatalf("batched Fit loss %.17g != reference %.17g", loss, refLoss)
+	}
+	requireSameParams(t, net, ref, "fit")
+}
+
+// TestBatchedFallsBackOnReplicaConv pins the replica-mode fallback: a conv
+// with per-position kernel tables cannot run batched, and TrainEpochBatched
+// must silently use the per-sample path instead.
+func TestBatchedFallsBackOnReplicaConv(t *testing.T) {
+	build := func(replica bool) *Network {
+		s := rng.New(21)
+		conv := NewConv2D(1, 2, 3, 3, 1, 1, s.Split("c"))
+		net := NewNetwork([]int{1, 6, 6}, conv, NewReLU(), NewFlatten(), NewDense(2*6*6, 3, s.Split("d")))
+		if replica {
+			// One shared replica per output position: numerically identical
+			// to the plain conv, but it must force the per-sample path.
+			oh, ow := 6, 6
+			kernels := make([]*tensor.Tensor, oh*ow)
+			grads := make([]*tensor.Tensor, oh*ow)
+			for i := range kernels {
+				kernels[i] = conv.Params()[0]
+				grads[i] = conv.Grads()[0]
+			}
+			conv.SetReplicaTable(kernels, grads, ow)
+		}
+		return net
+	}
+	samples := spatialSamples(201, 12, 1, 6, 6, 3)
+
+	ref := build(false)
+	refLoss := trainRef(ref, samples, 2, 4, NewSGD(0.05, 0.9))
+
+	net := build(true)
+	if net.batchable() {
+		t.Fatal("replica-hooked conv reported batchable")
+	}
+	loss := trainBatched(net, samples, 2, 4, 8, NewSGD(0.05, 0.9))
+	if loss != refLoss {
+		t.Fatalf("fallback loss %.17g != reference %.17g", loss, refLoss)
+	}
+	requireSameParams(t, net, ref, "replica fallback")
+}

@@ -40,6 +40,14 @@ type Conv2D struct {
 	// the fast paths index directly instead of through an indirect call.
 	repK, repG []*tensor.Tensor
 	repW       int
+	// Batched-path scratch (see batch.go): the packed (C,B,H,W) output and
+	// input-gradient blocks, the im2col patch matrix, cached 2-D GEMM views
+	// over the weight/output storage, and the packed input reference kept
+	// for backwardBatch.
+	outB, gradInB *tensor.Tensor
+	patch         *tensor.Tensor
+	w2, out2      *tensor.Tensor
+	lastInB       *tensor.Tensor
 }
 
 var (

@@ -16,6 +16,17 @@ type Dense struct {
 	gradW, gradB *tensor.Tensor
 	lastIn       *tensor.Tensor
 	out, gradIn  *tensor.Tensor
+	// Batched-path scratch (see batch.go): packed (B,Out) outputs and
+	// (B,In) input gradients, the transposed weight/gradient blocks the
+	// batched GEMMs consume, a cached 2-D view of gradW, and the packed
+	// input reference kept for backwardBatch.
+	outB, gradInB *tensor.Tensor
+	wT, godT, gw2 *tensor.Tensor
+	lastInB       *tensor.Tensor
+	// wTok marks wT as in sync with weight; the batched engine clears it
+	// after every optimizer step so the transpose is rebuilt at most once
+	// per step instead of once per block.
+	wTok bool
 }
 
 var (

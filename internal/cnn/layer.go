@@ -81,6 +81,8 @@ type shadowLayer interface {
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
 	out, gradIn *tensor.Tensor
+	// Batched-path scratch (see batch.go).
+	outB, gradInB *tensor.Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -138,6 +140,9 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 type Flatten struct {
 	inShape     []int
 	out, gradIn *tensor.Tensor
+	// Batched-path scratch (see batch.go).
+	bInShape      []int
+	outB, gradInB *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)

@@ -27,6 +27,11 @@ type Network struct {
 	rec       obs.Recorder
 	recPrefix string
 	recEval   []Sample
+	// batchKernel, when > 1, routes Fit, FitParallel and TrainEpochParallel
+	// through the batched im2col/GEMM engine in batch.go; bslots caches its
+	// per-block state (see SetBatchKernel).
+	batchKernel int
+	bslots      []*batchSlot
 }
 
 // NewNetwork returns a network accepting inputs of the given shape.
@@ -227,10 +232,14 @@ func (s *SGD) StepOne(p, g *tensor.Tensor, batch int) {
 		s.velocity[p] = v
 	}
 	pd, gd, vd := p.Data(), g.Data(), v.Data()
+	gd = gd[:len(pd)]
+	vd = vd[:len(pd)]
+	mom, lr, dec := s.Momentum, s.LR, s.Decay
 	for j := range pd {
-		step := gd[j]*inv + s.Decay*pd[j]
-		vd[j] = s.Momentum*vd[j] - s.LR*step
-		pd[j] += vd[j]
+		step := gd[j]*inv + dec*pd[j]
+		nv := mom*vd[j] - lr*step
+		vd[j] = nv
+		pd[j] += nv
 	}
 }
 
@@ -281,7 +290,7 @@ func (n *Network) TrainEpoch(samples []Sample, perm []int, batch int, opt *SGD) 
 // training paths. Call it after structurally changing the layer stack's
 // hooks (e.g. installing conv replica hooks): stale shadows would otherwise
 // keep the old configuration.
-func (n *Network) ResetParallelState() { n.slots = nil }
+func (n *Network) ResetParallelState() { n.slots, n.bslots = nil, nil }
 
 // TrainEpochParallelFunc is the engine behind TrainEpochParallel and
 // microdeep's parallel local-update training. Each mini-batch's forward
@@ -367,10 +376,18 @@ func (n *Network) TrainEpochParallelFunc(samples []Sample, perm []int, batch, wo
 // path at every worker count.
 func (n *Network) TrainEpochParallel(samples []Sample, perm []int, batch, workers int, opt *SGD) float64 {
 	n.ZeroGrads()
-	loss, ok := n.TrainEpochParallelFunc(samples, perm, batch, workers, func(bsz int) {
+	step := func(bsz int) {
 		opt.StepNetwork(n, bsz)
 		n.ZeroGrads()
-	})
+	}
+	// A configured batch kernel routes through the batched im2col/GEMM
+	// engine (bit-identical; see batch.go) at any worker count, including 1.
+	if n.batchKernel > 1 {
+		if loss, ok := n.trainEpochBatched(samples, perm, batch, n.batchKernel, workers, step); ok {
+			return loss
+		}
+	}
+	loss, ok := n.TrainEpochParallelFunc(samples, perm, batch, workers, step)
 	if !ok {
 		return n.TrainEpoch(samples, perm, batch, opt)
 	}
@@ -422,7 +439,11 @@ func (n *Network) observeEpoch(loss float64) {
 func (n *Network) Fit(samples []Sample, epochs, batch int, opt *SGD, stream *rng.Stream) float64 {
 	loss := 0.0
 	for e := 0; e < epochs; e++ {
-		loss = n.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+		if n.batchKernel > 1 {
+			loss = n.TrainEpochBatched(samples, stream.Perm(len(samples)), batch, n.batchKernel, opt)
+		} else {
+			loss = n.TrainEpoch(samples, stream.Perm(len(samples)), batch, opt)
+		}
 		n.observeEpoch(loss)
 	}
 	return loss

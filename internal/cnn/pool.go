@@ -12,6 +12,16 @@ type MaxPool2D struct {
 	inShape      []int
 	lastIn       *tensor.Tensor
 	out, gradIn  *tensor.Tensor
+	// Batched-path scratch (see batch.go). spw is the reused sparse winner
+	// list for the fused first-layer backward.
+	bInShape      []int
+	lastInB       *tensor.Tensor
+	outB, gradInB *tensor.Tensor
+	spw           []sparseWinner
+	// bkts are per-window-row emission buckets indexed by a winner's row
+	// offset inside its window; concatenating them in order after each
+	// window row yields winners sorted by (y, x) without a comparison sort.
+	bkts [3][]sparseWinner
 }
 
 var (

@@ -132,6 +132,13 @@ func (m *Model) EnableLocalUpdate() {
 // LocalUpdate reports whether the local weight-update mode is active.
 func (m *Model) LocalUpdate() bool { return m.localUpdate }
 
+// SetBatchKernel routes the underlying network's training through the
+// batched im2col/GEMM engine with blocks of k samples (bit-identical to the
+// per-sample path; see cnn.Network.SetBatchKernel). In local-update mode the
+// per-position kernel replicas cannot share a GEMM, so the setting is a
+// documented no-op there: training keeps the per-sample replica path.
+func (m *Model) SetBatchKernel(k int) { m.Net.SetBatchKernel(k) }
+
 // ReplicaCount returns the number of conv kernel replicas across stages
 // (zero when local update is disabled).
 func (m *Model) ReplicaCount() int {

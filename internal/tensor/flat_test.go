@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"testing"
 )
 
@@ -91,6 +92,112 @@ func TestEnsureReusesStorage(t *testing.T) {
 	e := Ensure(nil, 2, 2)
 	if e == nil || e.Size() != 4 {
 		t.Fatal("Ensure(nil) failed")
+	}
+}
+
+// TestEnsureRankChangeResetsStrides pins the scratch-reuse contract the
+// batched CNN kernels depend on: reusing a backing array under a shape of
+// equal volume but different rank must leave canonical row-major strides,
+// so the flat accessors (Off3/At3/...) address the new layout and not the
+// old one.
+func TestEnsureRankChangeResetsStrides(t *testing.T) {
+	a := New(24)
+	for i := range a.Data() {
+		a.Data()[i] = float64(i)
+	}
+	b := Ensure(a, 2, 3, 4) // 1-d -> 3-d, same volume
+	if b != a {
+		t.Fatal("Ensure did not reuse equal-volume storage across a rank change")
+	}
+	if b.Dims() != 3 || b.Stride(0) != 12 || b.Stride(1) != 4 || b.Stride(2) != 1 {
+		t.Fatalf("rank-up strides = %v, want [12 4 1]", b.Strides())
+	}
+	if b.At3(1, 2, 3) != 23 || b.Off3(1, 0, 2) != 14 {
+		t.Fatalf("flat accessors wrong after rank change: At3(1,2,3)=%v Off3(1,0,2)=%d",
+			b.At3(1, 2, 3), b.Off3(1, 0, 2))
+	}
+	c := Ensure(b, 4, 6) // 3-d -> 2-d, same volume
+	if c != b || c.Dims() != 2 || c.Stride(0) != 6 || c.Stride(1) != 1 {
+		t.Fatalf("rank-down strides = %v, want [6 1]", c.Strides())
+	}
+	if c.At2(3, 5) != 23 {
+		t.Fatalf("At2(3,5) = %v after rank change, want 23", c.At2(3, 5))
+	}
+	d := Ensure(c, 24) // back to 1-d
+	if d != c || d.Dims() != 1 || d.Stride(0) != 1 {
+		t.Fatalf("rank-down to 1-d strides = %v, want [1]", d.Strides())
+	}
+}
+
+// TestEnsureSameRankReshapeAllocFree pins the in-place meta rewrite: a
+// scratch buffer alternating between same-rank shapes (the im2col patch on
+// a partial final block) must not allocate.
+func TestEnsureSameRankReshapeAllocFree(t *testing.T) {
+	buf := New(6, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = Ensure(buf, 6, 5)
+		buf = Ensure(buf, 6, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("same-rank Ensure reshape allocated %v times per run", allocs)
+	}
+	if buf.Stride(0) != 8 {
+		t.Fatalf("stride after alternating reshapes = %d, want 8", buf.Stride(0))
+	}
+}
+
+func TestMatMulAddIntoAccumulates(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{1, 0, -1, 2, 0.5, -3}, 3, 2)
+	dst := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	got := MatMulAddInto(dst, a, b)
+	if got != dst {
+		t.Fatal("MatMulAddInto did not return dst")
+	}
+	// dst + a×b computed by the reference scalar loop.
+	want := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	for i := 0; i < 2; i++ {
+		for p := 0; p < 3; p++ {
+			for j := 0; j < 2; j++ {
+				want.Set2(want.At2(i, j)+a.At2(i, p)*b.At2(p, j), i, j)
+			}
+		}
+	}
+	if !Equal(want, got, 0) {
+		t.Fatalf("MatMulAddInto = %v, want %v", got, want)
+	}
+}
+
+// TestMatMulAddIntoMatchesScalarOrder verifies the unrolled kernel is
+// bit-identical to the naive p-ascending scalar loop on awkward inner sizes
+// (k not a multiple of the unroll factor) and adversarial values.
+func TestMatMulAddIntoMatchesScalarOrder(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 9, 13} {
+		m, n := 3, 4
+		a, b := New(m, k), New(k, n)
+		for i := range a.Data() {
+			a.Data()[i] = math.Sin(float64(3*i+1)) * 1e3
+		}
+		for i := range b.Data() {
+			b.Data()[i] = math.Cos(float64(7*i+2)) / 3
+		}
+		ref := New(m, n)
+		for i := range ref.Data() {
+			ref.Data()[i] = float64(i) - 5.5
+		}
+		dst := ref.Clone()
+		for i := 0; i < m; i++ {
+			for p := 0; p < k; p++ {
+				av := a.At2(i, p)
+				for j := 0; j < n; j++ {
+					ref.Set2(ref.At2(i, j)+av*b.At2(p, j), i, j)
+				}
+			}
+		}
+		MatMulAddInto(dst, a, b)
+		if !Equal(ref, dst, 0) {
+			t.Fatalf("k=%d: MatMulAddInto diverged from scalar order:\n got %v\nwant %v", k, dst, ref)
+		}
 	}
 }
 

@@ -89,7 +89,25 @@ func Ensure(t *Tensor, shape ...int) *Tensor {
 		return New(append([]int(nil), shape...)...)
 	}
 	if !shapeEq(t.shape, shape) {
-		t.shape, t.strides = shapeMeta(shape)
+		if len(shape) == len(t.shape) {
+			// Same rank: rewrite the cached meta in place. Scratch buffers
+			// that alternate between shapes (e.g. an im2col patch whose
+			// batch dimension shrinks on the final partial block) stay
+			// allocation-free, and the strides are always recomputed for
+			// the new dimensions.
+			copy(t.shape, shape)
+			stride := 1
+			for i := len(shape) - 1; i >= 0; i-- {
+				t.strides[i] = stride
+				stride *= shape[i]
+			}
+		} else {
+			// Rank change: the stride slice lengths no longer match, so a
+			// fresh meta array is required. Both shape and strides must be
+			// replaced together — stale strides on a reused backing array
+			// would silently corrupt every flat accessor.
+			t.shape, t.strides = shapeMeta(shape)
+		}
 	}
 	t.data = t.data[:n]
 	return t
@@ -305,6 +323,160 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 		}
 	}
 	return out
+}
+
+// MatMulAddInto accumulates a×b into dst for 2-D tensors of shapes (m,k),
+// (k,n) and (m,n): dst is NOT zeroed first, so callers can seed it (e.g. with
+// a broadcast bias) before the product is added. Unlike MatMulInto it does
+// not skip zero elements of a: every one of the k terms is added, in
+// ascending p order, one term at a time per output element. That makes the
+// per-element accumulation order identical to a scalar loop
+// `for p { dst[i][j] += a[i][p]*b[p][j] }`, which is what the batched CNN
+// kernels rely on for bit-identity with the per-sample path.
+func MatMulAddInto(dst, a, b *Tensor) *Tensor {
+	if dst.Dims() != 2 || a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulAddInto requires 2-d tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAddInto inner dims %d vs %d", k, k2))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAddInto dst shape %v, want (%d,%d)", dst.shape, m, n))
+	}
+	bd := b.data
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := dst.data[i*n : (i+1)*n]
+		p := 0
+		// Unroll by 4 over the inner dimension: four a-coefficients are held
+		// in registers and each output element receives its four terms as
+		// sequential dependent adds, so the per-element order matches the
+		// scalar loop exactly while each pass streams b only once per four
+		// terms' worth of work.
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			b0 := bd[p*n : p*n+n]
+			b1 := bd[(p+1)*n : (p+1)*n+n]
+			b2 := bd[(p+2)*n : (p+2)*n+n]
+			b3 := bd[(p+3)*n : (p+3)*n+n]
+			for j := range orow {
+				v := orow[j]
+				v += a0 * b0[j]
+				v += a1 * b1[j]
+				v += a2 * b2[j]
+				v += a3 * b3[j]
+				orow[j] = v
+			}
+		}
+		for ; p < k; p++ {
+			av := arow[p]
+			brow := bd[p*n : p*n+n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return dst
+}
+
+// reluBits is the branchless ReLU select used by the CNN layers: v for
+// v > 0, +0.0 otherwise (negatives, ±0 and negative NaNs all map to +0).
+func reluBits(v float64) float64 {
+	t := math.Float64bits(v)
+	keep := ((t | -t) >> 63) &^ (t >> 63)
+	return math.Float64frombits(t & -keep)
+}
+
+// MatMulBiasInto computes dst = bias + a×b for 2-D tensors of shapes (m,k),
+// (k,n) and (m,n), with bias[i] broadcast across row i. Each output element
+// is seeded with its bias and then receives its k terms in ascending p
+// order, one term at a time — the same per-element elementary order as
+// seeding dst with the bias and calling MatMulAddInto, so the batched conv
+// kernel stays bit-identical to the per-sample path. When relu is true the
+// finished value is passed through the ReLU bit-mask select as it is stored,
+// fusing the activation into the GEMM's final write.
+//
+// k == 9 (a 3×3 single-channel convolution row) keeps the whole chain in
+// registers: one pass over dst instead of three, which is where the batched
+// conv forward spends its time.
+func MatMulBiasInto(dst, a, b *Tensor, bias []float64, relu bool) *Tensor {
+	if dst.Dims() != 2 || a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulBiasInto requires 2-d tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulBiasInto inner dims %d vs %d", k, k2))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulBiasInto dst shape %v, want (%d,%d)", dst.shape, m, n))
+	}
+	if len(bias) != m {
+		panic(fmt.Sprintf("tensor: MatMulBiasInto bias length %d, want %d", len(bias), m))
+	}
+	bd := b.data
+	if k == 9 {
+		b0, b1, b2 := bd[0:n], bd[n:2*n], bd[2*n:3*n]
+		b3, b4, b5 := bd[3*n:4*n], bd[4*n:5*n], bd[5*n:6*n]
+		b6, b7, b8 := bd[6*n:7*n], bd[7*n:8*n], bd[8*n:9*n]
+		for i := 0; i < m; i++ {
+			arow := a.data[i*9 : i*9+9]
+			orow := dst.data[i*n : (i+1)*n]
+			bv := bias[i]
+			a0, a1, a2 := arow[0], arow[1], arow[2]
+			a3, a4, a5 := arow[3], arow[4], arow[5]
+			a6, a7, a8 := arow[6], arow[7], arow[8]
+			if relu {
+				for j := range orow {
+					v := bv
+					v += a0 * b0[j]
+					v += a1 * b1[j]
+					v += a2 * b2[j]
+					v += a3 * b3[j]
+					v += a4 * b4[j]
+					v += a5 * b5[j]
+					v += a6 * b6[j]
+					v += a7 * b7[j]
+					v += a8 * b8[j]
+					orow[j] = reluBits(v)
+				}
+				continue
+			}
+			for j := range orow {
+				v := bv
+				v += a0 * b0[j]
+				v += a1 * b1[j]
+				v += a2 * b2[j]
+				v += a3 * b3[j]
+				v += a4 * b4[j]
+				v += a5 * b5[j]
+				v += a6 * b6[j]
+				v += a7 * b7[j]
+				v += a8 * b8[j]
+				orow[j] = v
+			}
+		}
+		return dst
+	}
+	// Generic inner dimensions: seed the bias, accumulate like MatMulAddInto,
+	// then apply the fused activation in place.
+	for i := 0; i < m; i++ {
+		orow := dst.data[i*n : (i+1)*n]
+		bv := bias[i]
+		for j := range orow {
+			orow[j] = bv
+		}
+	}
+	MatMulAddInto(dst, a, b)
+	if relu {
+		od := dst.data[:m*n]
+		for j, v := range od {
+			od[j] = reluBits(v)
+		}
+	}
+	return dst
 }
 
 // MatVec returns a×x for a 2-D tensor (m,k) and 1-D tensor (k,).

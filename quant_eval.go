@@ -1,0 +1,59 @@
+package zeiot
+
+// Shared int8-quantization evaluation used by the CNN experiments when
+// RunConfig.Quantize is on. Everything here runs strictly after an
+// experiment's float results are computed and only adds summary keys and
+// table rows, so default-config outputs keep their bytes.
+
+import (
+	"zeiot/internal/cnn"
+	"zeiot/internal/ml"
+	"zeiot/internal/tensor"
+)
+
+// quantEval lowers a trained float CNN to int8 fixed point (calibrating the
+// activation scales on calib), scores it over test, and publishes
+// quantized-vs-float agreement counters under prefix on the run's recorder.
+// It returns the quantized accuracy and the fraction of test inputs where
+// int8 and float inference pick the same class.
+func (h *harness) quantEval(prefix string, net *cnn.Network, calib, test []cnn.Sample) (qacc, agree float64, err error) {
+	qn, err := cnn.QuantizeNetwork(net, calib)
+	if err != nil {
+		return 0, 0, err
+	}
+	correct, same := 0, 0
+	for _, s := range test {
+		qc := qn.Classify(s.Input)
+		if qc == s.Label {
+			correct++
+		}
+		if qc == net.Predict(s.Input) {
+			same++
+		}
+	}
+	n := len(test)
+	if n == 0 {
+		return 0, 1, nil
+	}
+	qacc = float64(correct) / float64(n)
+	agree = float64(same) / float64(n)
+	if rec := h.cfg.Recorder; rec != nil {
+		rec.Add(prefix+"quant_agree_total", int64(same))
+		rec.Add(prefix+"quant_disagree_total", int64(n-same))
+		rec.Gauge(prefix+"quant_accuracy", qacc)
+	}
+	return qacc, agree, nil
+}
+
+// featureSamples converts a labelled feature matrix into 1-D CNN samples
+// (feature rows are copied, so the samples own their data).
+func featureSamples(d ml.Dataset) []cnn.Sample {
+	out := make([]cnn.Sample, d.Len())
+	for i, x := range d.X {
+		out[i] = cnn.Sample{
+			Input: tensor.FromSlice(append([]float64(nil), x...), len(x)),
+			Label: d.Y[i],
+		}
+	}
+	return out
+}

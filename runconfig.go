@@ -41,6 +41,18 @@ type RunConfig struct {
 	// each experiment's own default (3 for e2, 1 for the single-run
 	// experiments).
 	Repeats int
+	// BatchKernel routes CNN training through the batched im2col/GEMM
+	// engine with blocks of this many samples per layer call. Results are
+	// bit-identical to per-sample training at every block size (and compose
+	// with TrainWorkers); only wall time moves. 0 or 1 keeps the per-sample
+	// paths.
+	BatchKernel int
+	// Quantize additionally evaluates trained CNNs through int8 fixed-point
+	// inference (per-tensor symmetric, calibrated activation scales, int32
+	// accumulators) in the experiments that train CNNs (e1, e2, e13), adding
+	// quantized accuracy rows to their summaries. Float results are
+	// untouched: summaries gain rows, existing rows keep their bytes.
+	Quantize bool
 	// Recorder receives the run's observability stream (training curves,
 	// cache hit rates, per-node radio scalars, stage timings). Nil disables
 	// observation entirely — the instrumented paths cost one nil check.
@@ -143,6 +155,9 @@ func (c *RunConfig) Validate() error {
 	if c.Repeats < 0 {
 		return fmt.Errorf("zeiot: RunConfig.Repeats %d is negative (0 keeps the experiment default)", c.Repeats)
 	}
+	if c.BatchKernel < 0 {
+		return fmt.Errorf("zeiot: RunConfig.BatchKernel %d is negative (0 or 1 keeps per-sample training)", c.BatchKernel)
+	}
 	l := c.Loss
 	if l.DropProb < 0 || l.DropProb > 1 {
 		return fmt.Errorf("zeiot: RunConfig.Loss.DropProb %g outside [0, 1]", l.DropProb)
@@ -232,6 +247,14 @@ func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
 		rec.Gauge("config_trainworkers", float64(cfg.TrainWorkers))
 		rec.Gauge("config_sample_scale", cfg.SampleScale)
 		rec.Gauge("config_repeats", float64(cfg.Repeats))
+		// Only non-default knobs add gauges, so default-config exports stay
+		// byte-identical to pre-PR6 snapshots.
+		if cfg.BatchKernel > 1 {
+			rec.Gauge("config_batch_kernel", float64(cfg.BatchKernel))
+		}
+		if cfg.Quantize {
+			rec.Gauge("config_quantize", 1)
+		}
 		if cfg.Loss.Enabled {
 			rec.Gauge("config_loss_drop_prob", cfg.Loss.DropProb)
 			rec.Gauge("config_loss_max_retries", float64(cfg.Loss.MaxRetries))

@@ -17,6 +17,10 @@ func TestRunConfigValidate(t *testing.T) {
 		{"negative workers", RunConfig{TrainWorkers: -1}, "TrainWorkers"},
 		{"negative scale", RunConfig{SampleScale: -0.5}, "SampleScale"},
 		{"negative repeats", RunConfig{Repeats: -2}, "Repeats"},
+		{"negative batch kernel", RunConfig{BatchKernel: -4}, "BatchKernel"},
+		{"batch kernel", RunConfig{BatchKernel: 8}, ""},
+		{"quantize", RunConfig{Quantize: true}, ""},
+		{"batch kernel with quantize", RunConfig{BatchKernel: 16, Quantize: true}, ""},
 		{"drop prob above one", RunConfig{Loss: LossConfig{Enabled: true, DropProb: 1.5}}, "DropProb"},
 		{"drop prob negative", RunConfig{Loss: LossConfig{Enabled: true, DropProb: -0.1}}, "DropProb"},
 		{"negative retries", RunConfig{Loss: LossConfig{Enabled: true, MaxRetries: -1}}, "MaxRetries"},
