@@ -9,6 +9,7 @@ import (
 	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/csi"
+	"zeiot/internal/geom"
 	"zeiot/internal/mac"
 	"zeiot/internal/microdeep"
 	"zeiot/internal/rng"
@@ -328,6 +329,75 @@ func BenchmarkQuantForward(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			qn.Forward(in)
 		}
+	})
+}
+
+// BenchmarkE16NodesPerSec runs the crowd-scale scenario end to end at three
+// field sizes and reports node-steps simulated per wall-clock second
+// (nodes × steps × iterations / elapsed) — the PR 7 scale metric. The 100k
+// sub-benchmark is the acceptance case: one full structural build, churn
+// repaired shard by shard.
+func BenchmarkE16NodesPerSec(b *testing.B) {
+	for _, nodes := range []int{1_000, 10_000, 100_000} {
+		b.Run("nodes"+strconv.Itoa(nodes), func(b *testing.B) {
+			cfg := &zeiot.RunConfig{Seed: 1, Nodes: nodes}
+			ctx := context.Background()
+			res, err := zeiot.RunE16Crowd(ctx, cfg) // warm-up, supplies steps
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps := res.Summary["steps"]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := zeiot.RunE16Crowd(ctx, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(nodes)*steps/b.Elapsed().Seconds(), "nodes_per_sec")
+			b.ReportMetric(res.Summary["full_rebuilds"], "full_rebuilds")
+			b.ReportMetric(res.Summary["shard_rebuilds"], "shard_rebuilds")
+		})
+	}
+}
+
+// BenchmarkWSNLinked measures the Linked predicate at high node degree on a
+// dense all-within-range cluster: the binary sub-benchmark is the PR 7
+// sorted-adjacency binary search, scan replays the pre-PR7 linear walk over
+// the neighbour list for the before/after record.
+func BenchmarkWSNLinked(b *testing.B) {
+	const n = 256
+	s := rng.New(9)
+	positions := make([]geom.Point, n)
+	for i := range positions {
+		positions[i] = geom.Point{X: s.Float64(), Y: s.Float64()}
+	}
+	w := wsn.New(positions, 2) // every pair in range: degree n-1
+	w.Hops(0, 1)               // build tables outside the timed region
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if w.Linked(i%n, (i*7+3)%n) {
+				hits++
+			}
+		}
+		_ = hits
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			u, v := i%n, (i*7+3)%n
+			for _, nb := range w.Neighbors(u) {
+				if nb == v {
+					hits++
+					break
+				}
+			}
+		}
+		_ = hits
 	})
 }
 

@@ -51,6 +51,16 @@ go run ./cmd/zeiotbench -e e13 -seed 1 -quant=true -json > "$m2"
 diff -u "$m1" "$m2"
 grep -q quant "$m1"
 
+# Crowd-scale smoke (PR 7): the sharded routing core at a CI-friendly node
+# count must be deterministic across independent runs, and node churn must
+# never trigger a second full structural build — the scale contract is that
+# flips repair single shards.
+go run ./cmd/zeiotbench -e e16 -nodes 3000 -seed 1 -json > "$m1"
+go run ./cmd/zeiotbench -e e16 -nodes 3000 -seed 1 -json > "$m2"
+diff -u "$m1" "$m2"
+grep -q '"full_rebuilds": 1,' "$m1"
+grep -q '"detections": ' "$m1"
+
 # Observability smoke. No regression: running e1 with metrics collection
 # enabled must still emit exactly the golden JSON (the metrics block stays
 # out of -json without -metrics, and recording must not perturb results).

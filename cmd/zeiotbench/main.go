@@ -12,6 +12,7 @@
 //	zeiotbench -loss 0.1       # lossy-link fault injection (e8/e11 gain loss dimensions)
 //	zeiotbench -batchkernel 8  # batched im2col/GEMM CNN training (results unchanged)
 //	zeiotbench -quant          # add int8 fixed-point inference rows (e1/e2/e13)
+//	zeiotbench -e e16 -nodes 100000  # crowd-scale node count (free-scale experiments)
 //	zeiotbench -timings        # keep per-stage wall times in the output
 //	zeiotbench -metrics        # collect observability metrics; keep them in -json output
 //	zeiotbench -metrics-out m.prom  # also export them as Prometheus text
@@ -20,7 +21,7 @@
 //	zeiotbench -list           # list experiments
 //
 // The per-run flags -trainworkers, -samples, -repeats, -loss, -lossburst,
-// -lossretries, -batchkernel and -quant also accept a comma-separated list
+// -lossretries, -batchkernel, -quant and -nodes also accept a comma-separated list
 // matching the -e list, so
 // -parallel can legally run differently-configured experiments concurrently:
 //
@@ -93,6 +94,7 @@ func run() int {
 		lossR    = flag.String("lossretries", "3", "max retransmissions per hop for the reliable transport (0 = no retries)")
 		batchK   = flag.String("batchkernel", "0", "batched im2col/GEMM CNN training block size (0/1 = per-sample; any value yields bit-identical results)")
 		quant    = flag.String("quant", "false", "add int8 fixed-point inference accuracy rows to the CNN experiments (e1/e2/e13)")
+		nodesF   = flag.String("nodes", "0", "node count for free-scale experiments (e16; 0 = experiment default)")
 		metrics  = flag.Bool("metrics", false, "collect observability metrics and keep the metrics block in -json output")
 		metOut   = flag.String("metrics-out", "", "write collected metrics as Prometheus text to this path (implies collection)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while experiments run")
@@ -194,13 +196,17 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals)
+	ndVals, err := perRun("nodes", *nodesF, n, strconv.Atoi)
+	if err != nil {
+		return fail(err)
+	}
+	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals, ndVals)
 }
 
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings, metrics bool, metricsOut string,
-	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool) int {
+	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool, ndVals []int) int {
 
 	// Loss options explicitly passed while every run has -loss 0 would be
 	// silently dead; surface them so RunConfig.Validate rejects the combination.
@@ -238,6 +244,7 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 		rc.Repeats = rpVals[i]
 		rc.BatchKernel = bkVals[i]
 		rc.Quantize = qVals[i]
+		rc.Nodes = ndVals[i]
 		if lossVals[i] > 0 {
 			lc := zeiot.DefaultLossConfig()
 			lc.Enabled = true

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("registry has %d experiments, want 15 (e1..e15)", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("registry has %d experiments, want 16 (e1..e16)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -211,6 +211,44 @@ func TestFastExperimentsRun(t *testing.T) {
 			}
 			check(t, r)
 		})
+	}
+}
+
+// TestE16CrowdSmall runs the crowd-scale scenario at a CI-friendly node
+// count and pins the PR 7 scale contract: exactly one full structural
+// build, churn repaired per shard, deterministic summaries.
+func TestE16CrowdSmall(t *testing.T) {
+	cfg := &RunConfig{Seed: 1, Nodes: 2000}
+	r, err := RunE16Crowd(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary["full_rebuilds"] != 1 {
+		t.Errorf("full rebuilds %v, want exactly 1 (churn must repair shards, not the world)", r.Summary["full_rebuilds"])
+	}
+	if r.Summary["fails"] > 0 && r.Summary["shard_rebuilds"] == 0 {
+		t.Error("churn happened but no shard table was ever rebuilt")
+	}
+	if r.Summary["detections"] == 0 {
+		t.Error("no tag detection delivered")
+	}
+	if dr := r.Summary["detection_rate"]; dr <= 0 || dr > 1 {
+		t.Errorf("detection rate %v outside (0, 1]", dr)
+	}
+	if r.Summary["mean_hops_to_sink"] <= 0 {
+		t.Errorf("mean hops to sink %v", r.Summary["mean_hops_to_sink"])
+	}
+	r2, err := RunE16Crowd(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range r.Summary {
+		if r2.Summary[k] != v {
+			t.Fatalf("e16 summary %q differs across identical runs: %v vs %v", k, v, r2.Summary[k])
+		}
+	}
+	if _, err := RunE16Crowd(context.Background(), &RunConfig{Seed: 1, Nodes: 10}); err == nil {
+		t.Error("sub-floor node count accepted")
 	}
 }
 

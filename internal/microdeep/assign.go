@@ -130,11 +130,13 @@ func AssignBalanced(g *Graph, w *wsn.Network, opts BalanceOptions) (Assignment, 
 		}
 	}
 	// commAt scores hosting site s on node n (math.Inf if unreachable). It
-	// indexes the network's hop table directly and sums integer scalar-hops
+	// indexes per-source hop rows directly and sums integer scalar-hops
 	// — hop counts and widths are small, so the products stay far below
 	// 2^53 and the integer total converts to exactly the float64 the
-	// original incremental float summation produced.
-	hops := w.HopsTable()
+	// original incremental float summation produced. HopsRow instead of
+	// HopsTable keeps this sparse-friendly: on the sharded core only the
+	// rows of candidate nodes materialize, never the full N×N matrix (and
+	// on the dense core the row is the same shared table slice as before).
 	// Scratch for the per-site (node, weight) aggregation: deps and
 	// consumers grouped by their current host so commAt does one table
 	// lookup per distinct node instead of one per edge.
@@ -164,7 +166,7 @@ func AssignBalanced(g *Graph, w *wsn.Network, opts BalanceOptions) (Assignment, 
 	}
 	commAt := func(n int) float64 {
 		comm := 0
-		hrow := hops[n]
+		hrow := w.HopsRow(n)
 		for i, an := range aggNode {
 			h := hrow[an]
 			if h < 0 {

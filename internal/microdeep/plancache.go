@@ -42,6 +42,60 @@ type planKey struct {
 type planEntry struct {
 	nodeOf []int
 	plan   []Transfer
+	// Sharded-network validity signature (see planFor): the epochs of every
+	// shard any consulted route touched, plus the recover generation.
+	sharded    bool
+	touched    shardTouch
+	recoverGen uint64
+}
+
+// shardTouch records which shards a plan computation's routes traversed,
+// with the epoch each shard had at computation time. On sharded networks a
+// cached plan stays valid exactly while those epochs (and RecoverGen) hold:
+// a Fail in an untouched shard cannot change any consulted route (it only
+// removes edges elsewhere), so the plan survives unrelated churn.
+type shardTouch struct {
+	shards []int
+	epochs []uint64
+}
+
+func (t *shardTouch) reset() {
+	t.shards = t.shards[:0]
+	t.epochs = t.epochs[:0]
+}
+
+// addRoute folds one consulted route's shards into the set.
+func (t *shardTouch) addRoute(w *wsn.Network, route []int) {
+	for _, v := range route {
+		s := w.ShardOf(v)
+		known := false
+		for _, ps := range t.shards {
+			if ps == s {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.shards = append(t.shards, s)
+			t.epochs = append(t.epochs, w.ShardEpoch(s))
+		}
+	}
+}
+
+func (t *shardTouch) valid(w *wsn.Network) bool {
+	for k, s := range t.shards {
+		if w.ShardEpoch(s) != t.epochs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *shardTouch) clone() shardTouch {
+	return shardTouch{
+		shards: append([]int(nil), t.shards...),
+		epochs: append([]uint64(nil), t.epochs...),
+	}
 }
 
 // planCache is the per-Graph plan memo. The mutex guards the map and the
@@ -55,8 +109,10 @@ type planCache struct {
 	// Graph.PlanCacheStats by the observability layer.
 	hits, misses uint64
 	// rawSeen/edgeSeen are the reusable dedup bitsets computePlan
-	// scratches in.
+	// scratches in; touchScratch collects shard signatures on sharded
+	// networks.
 	rawSeen, edgeSeen bitset
+	touchScratch      shardTouch
 }
 
 // hashNodeOf is FNV-1a over the assignment vector, mixing each node id as
@@ -93,17 +149,34 @@ func equalInts(a, b []int) bool {
 // planFor returns the (possibly cached) transfer plan for g under a on w.
 // The returned slice is shared with the cache and must be treated as
 // read-only; the exported Plan copies it before handing it out.
+//
+// Dense networks key on TopologyEpoch: any flip anywhere invalidates (the
+// dense core rebuilds everything anyway). Sharded networks key with epoch 0
+// and validate entries against the fine-grained signature computePlan
+// collected — the epochs of every shard a consulted route touched, plus
+// RecoverGen — so the cache survives churn in shards the plan never sees.
 func planFor(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
-	key := planKey{net: w.ID(), epoch: w.TopologyEpoch(), n: len(a.NodeOf), hash: hashNodeOf(a.NodeOf)}
+	sharded := w.Sharded()
+	key := planKey{net: w.ID(), n: len(a.NodeOf), hash: hashNodeOf(a.NodeOf)}
+	if !sharded {
+		key.epoch = w.TopologyEpoch()
+	}
 	c := &g.plans
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok && equalInts(e.nodeOf, a.NodeOf) {
-		c.hits++
-		return e.plan, nil
+		if !e.sharded || (e.recoverGen == w.RecoverGen() && e.touched.valid(w)) {
+			c.hits++
+			return e.plan, nil
+		}
 	}
 	c.misses++
-	plan, err := computePlan(g, a, w, &c.rawSeen, &c.edgeSeen)
+	var touch *shardTouch
+	if sharded {
+		c.touchScratch.reset()
+		touch = &c.touchScratch
+	}
+	plan, err := computePlan(g, a, w, &c.rawSeen, &c.edgeSeen, touch)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +185,13 @@ func planFor(g *Graph, a Assignment, w *wsn.Network) ([]Transfer, error) {
 	} else if len(c.m) >= planCacheLimit {
 		clear(c.m)
 	}
-	c.m[key] = &planEntry{nodeOf: append([]int(nil), a.NodeOf...), plan: plan}
+	e := &planEntry{nodeOf: append([]int(nil), a.NodeOf...), plan: plan}
+	if sharded {
+		e.sharded = true
+		e.touched = touch.clone()
+		e.recoverGen = w.RecoverGen()
+	}
+	c.m[key] = e
 	return plan, nil
 }
 

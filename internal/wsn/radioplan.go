@@ -61,8 +61,12 @@ func (p RadioPlan) Usable(a, b geom.Point) bool {
 
 // NewFromRadioPlan builds a network whose links are exactly the usable
 // ones under the plan — the automated network-construction step of the
-// design-support environment.
+// design-support environment. At AutoShardThreshold nodes and above it
+// switches to the hierarchical sharded core.
 func NewFromRadioPlan(positions []geom.Point, plan RadioPlan) *Network {
+	if len(positions) >= AutoShardThreshold {
+		return NewShardedFromRadioPlan(positions, plan, ShardOptions{})
+	}
 	n := &Network{id: networkSeq.Add(1), maxRange: -1, plan: &plan}
 	for i, p := range positions {
 		n.nodes = append(n.nodes, &Node{ID: i, Pos: p})

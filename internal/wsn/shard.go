@@ -1,0 +1,775 @@
+package wsn
+
+import (
+	"fmt"
+	"math"
+
+	"zeiot/internal/geom"
+)
+
+// This file implements the hierarchical routing core behind large Networks
+// (PR 7). The deployment area is tiled into shards; nodes with a structural
+// link into another shard are that shard's gateways. Exact hop distances are
+// composed CRP-style from three ingredients, each built lazily and cached
+// under fine-grained epochs:
+//
+//   - per-shard tables: for every gateway of a shard, a BFS over the shard's
+//     live nodes giving intra-shard distances and next-hop parents;
+//   - an overlay graph over gateways only: clique edges between a shard's
+//     gateways weighted by intra-shard distance, plus unit cross edges for
+//     structural links between shards;
+//   - per-source state: an intra-shard BFS from the source plus one Dijkstra
+//     over the overlay, giving exact source→gateway distances.
+//
+// Hops(s,t) is then min(intra-shard direct, min over gateways g of t's shard
+// of dist(s,g) + intraShard(g,t)), which is exact: any shortest path
+// decomposes into maximal same-shard runs whose endpoints are gateways, so
+// the overlay relaxations dominate it, and every overlay path is realizable.
+//
+// Fail/Recover never rebuild adjacency (the CSR is structural; traversals
+// filter dead nodes). A flip bumps only its shard's epoch — invalidating
+// that shard's tables and any route whose path touches the shard — plus a
+// global version that invalidates per-source overlay states. Recover
+// additionally bumps recoverGen, because a recovery can shorten paths
+// anywhere and cached routes elsewhere would silently stop being shortest;
+// Fail alone cannot (removing edges only lengthens alternatives, so an
+// untouched cached route stays shortest).
+
+// AutoShardThreshold is the node count at or above which New and
+// NewFromRadioPlan switch to the sharded core automatically. Every paper
+// experiment runs far below it, keeping their dense-path results
+// byte-identical; crowd-scale scenarios cross it and shard.
+const AutoShardThreshold = 4096
+
+// defaultShardTarget is the intended node count per shard tile.
+const defaultShardTarget = 1024
+
+// shardRouteMemoLimit bounds the sharded route memo; on overflow the memo is
+// cleared wholesale (same policy as the microdeep plan cache).
+const shardRouteMemoLimit = 8192
+
+// srcCacheLimit bounds the number of per-source overlay states retained.
+const srcCacheLimit = 64
+
+// ShardOptions configures the sharded routing core.
+type ShardOptions struct {
+	// TargetShardSize is the intended node count per shard tile; 0 uses
+	// defaultShardTarget.
+	TargetShardSize int
+}
+
+// shardState is one tile's lazily built routing tables.
+type shardState struct {
+	nodes []int32 // member node ids, ascending
+	gws   []int32 // gateway node ids, ascending (structural property)
+	// epoch advances on every effective flip of a member node; built is the
+	// epoch the tables below were computed at.
+	epoch      uint64
+	built      uint64
+	haveTables bool
+	// dist[r][l] is the live intra-shard hop distance from gateway rank r to
+	// local node l (-1 unreachable or dead); next[r][l] is the global id of
+	// the neighbour one hop closer to that gateway.
+	dist [][]int32
+	next [][]int32
+}
+
+// srcState caches one source's exact routing state: an intra-shard BFS and
+// an overlay Dijkstra. Valid while version matches the core's.
+type srcState struct {
+	src     int32
+	version uint64
+	// intraDist/intraPrev are BFS results over the source's shard (local
+	// indices; prev holds global ids one hop closer to the source).
+	intraDist []int32
+	intraPrev []int32
+	// gwDist/gwPrev are exact distances source→gateway over the whole live
+	// network (global gateway indices; prev -1 for seeds).
+	gwDist []int32
+	gwPrev []int32
+	// row is the lazily materialized full hops row (HopsRow).
+	row []int
+}
+
+// shardRoute is one memoized route with its validity signature: the epochs
+// of every shard the path touches, plus the recover generation.
+type shardRoute struct {
+	path       []int
+	recoverGen uint64
+	shards     []int32
+	epochs     []uint64
+}
+
+type shardCore struct {
+	net *Network
+	adj csr
+	// shardOf/localOf map node id → shard index and index within the shard.
+	shardOf []int32
+	localOf []int32
+	shards  []*shardState
+	// gwIdxOf maps node id → global gateway index (-1 for non-gateways);
+	// gwNodes/gwRank are the inverse and the gateway's rank in its shard.
+	gwIdxOf []int32
+	gwNodes []int32
+	gwRank  []int32
+
+	// version advances on every effective flip; recoverGen on every
+	// effective Recover (see the file comment for why they differ).
+	version    uint64
+	recoverGen uint64
+
+	// Rebuild counters surfaced via Network.RebuildStats: fullBuilds counts
+	// structural CSR constructions (1 for the network's lifetime — flips
+	// must never force another), shardBuilds per-shard table (re)builds,
+	// overlayBuilds per-source overlay Dijkstra runs.
+	fullBuilds    uint64
+	shardBuilds   uint64
+	overlayBuilds uint64
+
+	srcCache map[int32]*srcState
+	routes   map[uint64]*shardRoute
+
+	// scratch
+	q    []int32
+	heap []uint64
+}
+
+// NewSharded builds a network on the hierarchical sharded core regardless of
+// size. Routing results (hop distances, route validity) match New exactly;
+// only the internal representation and incremental-repair behaviour differ.
+func NewSharded(positions []geom.Point, maxRange float64, opts ShardOptions) *Network {
+	if maxRange <= 0 {
+		panic("wsn: non-positive range")
+	}
+	n := &Network{id: networkSeq.Add(1), maxRange: maxRange}
+	for i, p := range positions {
+		n.nodes = append(n.nodes, &Node{ID: i, Pos: p})
+	}
+	n.sh = newShardCore(n, opts)
+	return n
+}
+
+// NewShardedFromRadioPlan is NewFromRadioPlan on the sharded core.
+func NewShardedFromRadioPlan(positions []geom.Point, plan RadioPlan, opts ShardOptions) *Network {
+	n := &Network{id: networkSeq.Add(1), maxRange: -1, plan: &plan}
+	for i, p := range positions {
+		n.nodes = append(n.nodes, &Node{ID: i, Pos: p})
+	}
+	n.sh = newShardCore(n, opts)
+	return n
+}
+
+// NewGridSharded is NewGrid on the sharded core (same geometry and range).
+func NewGridSharded(rows, cols int, spacing float64, opts ShardOptions) *Network {
+	if rows <= 0 || cols <= 0 {
+		panic("wsn: non-positive grid dims")
+	}
+	positions := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			positions = append(positions, geom.Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return NewSharded(positions, 1.5*spacing, opts)
+}
+
+func newShardCore(n *Network, opts ShardOptions) *shardCore {
+	target := opts.TargetShardSize
+	if target <= 0 {
+		target = defaultShardTarget
+	}
+	sc := &shardCore{net: n}
+	sc.adj = buildCSR(n.nodes, n.linkExists, n.maxLinkDist())
+	sc.fullBuilds = 1
+
+	size := len(n.nodes)
+	// Tile the bounding box into a k×k grid sized for ~target nodes/tile.
+	k := int(math.Ceil(math.Sqrt(float64(size) / float64(target))))
+	if k < 1 {
+		k = 1
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, nd := range n.nodes {
+		minX = math.Min(minX, nd.Pos.X)
+		minY = math.Min(minY, nd.Pos.Y)
+		maxX = math.Max(maxX, nd.Pos.X)
+		maxY = math.Max(maxY, nd.Pos.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	tile := func(v, lo, span float64) int {
+		if span <= 0 {
+			return 0
+		}
+		t := int(float64(k) * (v - lo) / span)
+		if t >= k {
+			t = k - 1
+		}
+		return t
+	}
+	sc.shardOf = make([]int32, size)
+	sc.localOf = make([]int32, size)
+	sc.shards = make([]*shardState, k*k)
+	for s := range sc.shards {
+		sc.shards[s] = &shardState{}
+	}
+	for i, nd := range n.nodes {
+		s := int32(tile(nd.Pos.Y, minY, spanY)*k + tile(nd.Pos.X, minX, spanX))
+		sc.shardOf[i] = s
+		st := sc.shards[s]
+		sc.localOf[i] = int32(len(st.nodes))
+		st.nodes = append(st.nodes, int32(i))
+	}
+	// Gateways: nodes with at least one structural cross-shard link.
+	// Scanning node ids ascending keeps gwNodes and every shard's gws sorted.
+	sc.gwIdxOf = make([]int32, size)
+	for i := 0; i < size; i++ {
+		sc.gwIdxOf[i] = -1
+		gw := false
+		for _, v := range sc.adj.neighbors(i) {
+			if sc.shardOf[v] != sc.shardOf[i] {
+				gw = true
+				break
+			}
+		}
+		if gw {
+			sc.gwIdxOf[i] = int32(len(sc.gwNodes))
+			sc.gwNodes = append(sc.gwNodes, int32(i))
+			st := sc.shards[sc.shardOf[i]]
+			sc.gwRank = append(sc.gwRank, int32(len(st.gws)))
+			st.gws = append(st.gws, int32(i))
+		}
+	}
+	sc.srcCache = make(map[int32]*srcState)
+	sc.routes = make(map[uint64]*shardRoute)
+	return sc
+}
+
+// flip records one effective Fail/Recover: only the flipped node's shard
+// epoch moves (plus the global version and, for Recover, recoverGen).
+func (sc *shardCore) flip(id int, recovered bool) {
+	sc.version++
+	sc.shards[sc.shardOf[id]].epoch++
+	if recovered {
+		sc.recoverGen++
+	}
+}
+
+// ensureShard (re)builds one shard's gateway tables if its epoch moved.
+func (sc *shardCore) ensureShard(s int32) *shardState {
+	st := sc.shards[s]
+	if st.haveTables && st.built == st.epoch {
+		return st
+	}
+	sc.shardBuilds++
+	nloc := len(st.nodes)
+	if st.dist == nil {
+		st.dist = make([][]int32, len(st.gws))
+		st.next = make([][]int32, len(st.gws))
+		for r := range st.gws {
+			st.dist[r] = make([]int32, nloc)
+			st.next[r] = make([]int32, nloc)
+		}
+	}
+	nodes := sc.net.nodes
+	for r, g := range st.gws {
+		dist, next := st.dist[r], st.next[r]
+		for l := range dist {
+			dist[l] = -1
+			next[l] = -1
+		}
+		if nodes[g].Failed {
+			continue
+		}
+		// BFS from the gateway over the shard's live members. Neighbour
+		// order is ascending (CSR rows are sorted), matching the dense
+		// builder's tie-breaks.
+		q := sc.q[:0]
+		lg := sc.localOf[g]
+		dist[lg] = 0
+		q = append(q, lg)
+		for head := 0; head < len(q); head++ {
+			lu := q[head]
+			gu := st.nodes[lu]
+			for _, gv := range sc.adj.neighbors(int(gu)) {
+				if sc.shardOf[gv] != s || nodes[gv].Failed {
+					continue
+				}
+				lv := sc.localOf[gv]
+				if dist[lv] != -1 {
+					continue
+				}
+				dist[lv] = dist[lu] + 1
+				next[lv] = gu
+				q = append(q, lv)
+			}
+		}
+		sc.q = q[:0]
+	}
+	st.built = st.epoch
+	st.haveTables = true
+	return st
+}
+
+// cached returns the valid per-source state for src, or nil.
+func (sc *shardCore) cached(src int32) *srcState {
+	if st := sc.srcCache[src]; st != nil && st.version == sc.version {
+		return st
+	}
+	return nil
+}
+
+// ensureSrc returns the per-source overlay state for a live source, building
+// it (intra-shard BFS + overlay Dijkstra) on miss or staleness.
+func (sc *shardCore) ensureSrc(src int32) *srcState {
+	if st := sc.cached(src); st != nil {
+		return st
+	}
+	sc.overlayBuilds++
+	if len(sc.srcCache) >= srcCacheLimit {
+		clear(sc.srcCache)
+	}
+	nodes := sc.net.nodes
+	si := sc.shardOf[src]
+	S := sc.ensureShard(si)
+	st := &srcState{src: src, version: sc.version}
+	// Intra-shard BFS from the source.
+	st.intraDist = make([]int32, len(S.nodes))
+	st.intraPrev = make([]int32, len(S.nodes))
+	for l := range st.intraDist {
+		st.intraDist[l] = -1
+		st.intraPrev[l] = -1
+	}
+	q := sc.q[:0]
+	ls := sc.localOf[src]
+	st.intraDist[ls] = 0
+	q = append(q, ls)
+	for head := 0; head < len(q); head++ {
+		lu := q[head]
+		gu := S.nodes[lu]
+		for _, gv := range sc.adj.neighbors(int(gu)) {
+			if sc.shardOf[gv] != si || nodes[gv].Failed {
+				continue
+			}
+			lv := sc.localOf[gv]
+			if st.intraDist[lv] != -1 {
+				continue
+			}
+			st.intraDist[lv] = st.intraDist[lu] + 1
+			st.intraPrev[lv] = gu
+			q = append(q, lv)
+		}
+	}
+	sc.q = q[:0]
+	// Overlay Dijkstra over gateways. Heap keys pack (dist, gateway index)
+	// so ties break on the lower index — fully deterministic.
+	ngw := len(sc.gwNodes)
+	st.gwDist = make([]int32, ngw)
+	st.gwPrev = make([]int32, ngw)
+	for i := range st.gwDist {
+		st.gwDist[i] = -1
+		st.gwPrev[i] = -1
+	}
+	h := sc.heap[:0]
+	for _, g := range S.gws {
+		if d := st.intraDist[sc.localOf[g]]; d >= 0 {
+			gi := sc.gwIdxOf[g]
+			st.gwDist[gi] = d
+			h = heapPush(h, uint64(uint32(d))<<32|uint64(uint32(gi)))
+		}
+	}
+	for len(h) > 0 {
+		var key uint64
+		key, h = heapPop(h)
+		d := int32(key >> 32)
+		gi := int32(uint32(key))
+		if d > st.gwDist[gi] {
+			continue // stale heap entry
+		}
+		g := sc.gwNodes[gi]
+		T := sc.ensureShard(sc.shardOf[g])
+		// Clique edges: intra-shard distances to the shard's other gateways.
+		r := sc.gwRank[gi]
+		drow := T.dist[r]
+		for _, g2 := range T.gws {
+			if g2 == g {
+				continue
+			}
+			w := drow[sc.localOf[g2]]
+			if w < 0 {
+				continue
+			}
+			gi2 := sc.gwIdxOf[g2]
+			if nd := d + w; st.gwDist[gi2] < 0 || nd < st.gwDist[gi2] {
+				st.gwDist[gi2] = nd
+				st.gwPrev[gi2] = gi
+				h = heapPush(h, uint64(uint32(nd))<<32|uint64(uint32(gi2)))
+			}
+		}
+		// Cross edges: unit-weight structural links into other shards.
+		if nodes[g].Failed {
+			continue
+		}
+		for _, v := range sc.adj.neighbors(int(g)) {
+			if sc.shardOf[v] == sc.shardOf[g] || nodes[v].Failed {
+				continue
+			}
+			gi2 := sc.gwIdxOf[v] // cross-linked ⇒ v is a gateway
+			if nd := d + 1; st.gwDist[gi2] < 0 || nd < st.gwDist[gi2] {
+				st.gwDist[gi2] = nd
+				st.gwPrev[gi2] = gi
+				h = heapPush(h, uint64(uint32(nd))<<32|uint64(uint32(gi2)))
+			}
+		}
+	}
+	sc.heap = h[:0]
+	sc.srcCache[src] = st
+	return st
+}
+
+// distFrom returns the exact hop distance from st.src to t (-1 unreachable).
+func (sc *shardCore) distFrom(st *srcState, t int32) int {
+	if sc.net.nodes[t].Failed {
+		return -1
+	}
+	if t == st.src {
+		return 0
+	}
+	if st.row != nil {
+		return st.row[t]
+	}
+	best := int32(-1)
+	ti := sc.shardOf[t]
+	if ti == sc.shardOf[st.src] {
+		if d := st.intraDist[sc.localOf[t]]; d >= 0 {
+			best = d
+		}
+	}
+	T := sc.ensureShard(ti)
+	lt := sc.localOf[t]
+	for r, g := range T.gws {
+		dg := st.gwDist[sc.gwIdxOf[g]]
+		if dg < 0 {
+			continue
+		}
+		dt := T.dist[r][lt]
+		if dt < 0 {
+			continue
+		}
+		if c := dg + dt; best < 0 || c < best {
+			best = c
+		}
+	}
+	return int(best)
+}
+
+// hops answers Network.Hops on the sharded core, preferring whichever
+// endpoint already has cached per-source state (hop distances are symmetric).
+func (sc *shardCore) hops(i, j int) int {
+	nodes := sc.net.nodes
+	if nodes[i].Failed || nodes[j].Failed {
+		return -1
+	}
+	if i == j {
+		return 0
+	}
+	if sc.cached(int32(i)) == nil && sc.cached(int32(j)) != nil {
+		i, j = j, i
+	}
+	return sc.distFrom(sc.ensureSrc(int32(i)), int32(j))
+}
+
+// hopsRow answers Network.HopsRow: the full distance row from src,
+// materialized once per (source, version) and cached on the source state.
+func (sc *shardCore) hopsRow(src int) []int {
+	size := len(sc.net.nodes)
+	if sc.net.nodes[src].Failed {
+		row := make([]int, size)
+		for i := range row {
+			row[i] = -1
+		}
+		return row
+	}
+	st := sc.ensureSrc(int32(src))
+	if st.row == nil {
+		row := make([]int, size)
+		for t := range row {
+			row[t] = sc.distFrom(st, int32(t))
+		}
+		st.row = row
+	}
+	return st.row
+}
+
+// pathFrom reconstructs one shortest path st.src → t as global node ids, or
+// nil when unreachable. The realizing candidate is chosen deterministically:
+// the direct intra-shard path if it attains the distance, else the
+// lowest-ranked gateway of t's shard that does.
+func (sc *shardCore) pathFrom(st *srcState, t int32) []int {
+	total := sc.distFrom(st, t)
+	if total < 0 {
+		return nil
+	}
+	if t == st.src {
+		return []int{int(st.src)}
+	}
+	ti := sc.shardOf[t]
+	si := sc.shardOf[st.src]
+	if ti == si {
+		if d := st.intraDist[sc.localOf[t]]; d == int32(total) {
+			// Walk intraPrev from t back to the source, then reverse.
+			path := make([]int, 0, total+1)
+			for cur := t; ; {
+				path = append(path, int(cur))
+				if cur == st.src {
+					break
+				}
+				cur = st.intraPrev[sc.localOf[cur]]
+			}
+			reverseInts(path)
+			return path
+		}
+	}
+	T := sc.ensureShard(ti)
+	lt := sc.localOf[t]
+	for r, g := range T.gws {
+		dg := st.gwDist[sc.gwIdxOf[g]]
+		if dg < 0 {
+			continue
+		}
+		dt := T.dist[r][lt]
+		if dt < 0 || dg+dt != int32(total) {
+			continue
+		}
+		path := sc.unpackToGateway(st, sc.gwIdxOf[g])
+		// Final leg: gateway → t inside t's shard, via the next-toward-g
+		// parents (they chain t → g, so collect and append reversed).
+		if g != t {
+			leg := make([]int32, 0, dt+1)
+			for cur := t; cur != g; cur = T.next[r][sc.localOf[cur]] {
+				leg = append(leg, cur)
+			}
+			for k := len(leg) - 1; k >= 0; k-- {
+				path = append(path, int(leg[k]))
+			}
+		}
+		return path
+	}
+	return nil // unreachable given total >= 0; defensive
+}
+
+// unpackToGateway expands the overlay predecessor chain into the concrete
+// node path st.src → gateway gi.
+func (sc *shardCore) unpackToGateway(st *srcState, gi int32) []int {
+	// Collect the gateway chain seed → ... → gi.
+	chain := []int32{gi}
+	for st.gwPrev[chain[len(chain)-1]] >= 0 {
+		chain = append(chain, st.gwPrev[chain[len(chain)-1]])
+	}
+	reverseInt32s(chain)
+	// Intra-shard prefix: source → first gateway.
+	g0 := sc.gwNodes[chain[0]]
+	var path []int
+	if g0 == st.src {
+		path = []int{int(st.src)}
+	} else {
+		for cur := g0; ; {
+			path = append(path, int(cur))
+			if cur == st.src {
+				break
+			}
+			cur = st.intraPrev[sc.localOf[cur]]
+		}
+		reverseInts(path)
+	}
+	// Expand each overlay edge. Same shard ⇒ clique edge (walk the target
+	// gateway's parent tree); different shard ⇒ unit cross link.
+	for k := 0; k+1 < len(chain); k++ {
+		ga := sc.gwNodes[chain[k]]
+		gb := sc.gwNodes[chain[k+1]]
+		if sc.shardOf[ga] != sc.shardOf[gb] {
+			path = append(path, int(gb))
+			continue
+		}
+		T := sc.ensureShard(sc.shardOf[ga])
+		rb := sc.gwRank[chain[k+1]]
+		for cur := ga; cur != gb; {
+			cur = T.next[rb][sc.localOf[cur]]
+			path = append(path, int(cur))
+		}
+	}
+	return path
+}
+
+// route answers Network.Route on the sharded core, with a memo whose
+// validity signature is the touched shards' epochs plus recoverGen.
+func (sc *shardCore) route(i, j int) ([]int, error) {
+	n := sc.net
+	key := uint64(uint32(i))<<32 | uint64(uint32(j))
+	if e := sc.routes[key]; e != nil && sc.routeValid(e) {
+		n.routeHits++
+		return e.path, nil
+	}
+	n.routeMisses++
+	nodes := n.nodes
+	if nodes[i].Failed || nodes[j].Failed {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, i, j)
+	}
+	var path []int
+	if i != j && sc.cached(int32(i)) == nil && sc.cached(int32(j)) != nil {
+		// Build from the cached endpoint and reverse (hop metric symmetric).
+		path = sc.pathFrom(sc.ensureSrc(int32(j)), int32(i))
+		reverseInts(path)
+	} else {
+		path = sc.pathFrom(sc.ensureSrc(int32(i)), int32(j))
+	}
+	if path == nil {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, i, j)
+	}
+	e := &shardRoute{path: path, recoverGen: sc.recoverGen}
+	for _, v := range path {
+		s := sc.shardOf[v]
+		known := false
+		for _, ps := range e.shards {
+			if ps == s {
+				known = true
+				break
+			}
+		}
+		if !known {
+			e.shards = append(e.shards, s)
+			e.epochs = append(e.epochs, sc.shards[s].epoch)
+		}
+	}
+	if len(sc.routes) >= shardRouteMemoLimit {
+		clear(sc.routes)
+	}
+	sc.routes[key] = e
+	return path, nil
+}
+
+func (sc *shardCore) routeValid(e *shardRoute) bool {
+	if e.recoverGen != sc.recoverGen {
+		return false
+	}
+	for k, s := range e.shards {
+		if sc.shards[s].epoch != e.epochs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// linked answers Network.Linked: both endpoints live and structurally
+// adjacent (binary search over the sorted CSR row).
+func (sc *shardCore) linked(i, j int) bool {
+	nodes := sc.net.nodes
+	if nodes[i].Failed || nodes[j].Failed {
+		return false
+	}
+	return sc.adj.contains(i, j)
+}
+
+// liveNeighbors appends i's live neighbours to buf and returns it.
+func (sc *shardCore) liveNeighbors(i int, buf []int) []int {
+	nodes := sc.net.nodes
+	if nodes[i].Failed {
+		return buf
+	}
+	for _, v := range sc.adj.neighbors(i) {
+		if !nodes[v].Failed {
+			buf = append(buf, int(v))
+		}
+	}
+	return buf
+}
+
+// connected answers Network.Connected with one flood fill over live nodes.
+func (sc *shardCore) connected() bool {
+	nodes := sc.net.nodes
+	first := -1
+	live := 0
+	for i, nd := range nodes {
+		if !nd.Failed {
+			live++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	if live <= 1 {
+		return true
+	}
+	seen := make([]bool, len(nodes))
+	q := sc.q[:0]
+	seen[first] = true
+	q = append(q, int32(first))
+	count := 1
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, v := range sc.adj.neighbors(int(u)) {
+			if seen[v] || nodes[v].Failed {
+				continue
+			}
+			seen[v] = true
+			count++
+			q = append(q, v)
+		}
+	}
+	sc.q = q[:0]
+	return count == live
+}
+
+// --- small helpers ---
+
+func reverseInts(s []int) {
+	for a, b := 0, len(s)-1; a < b; a, b = a+1, b-1 {
+		s[a], s[b] = s[b], s[a]
+	}
+}
+
+func reverseInt32s(s []int32) {
+	for a, b := 0, len(s)-1; a < b; a, b = a+1, b-1 {
+		s[a], s[b] = s[b], s[a]
+	}
+}
+
+// heapPush/heapPop maintain a binary min-heap over packed (dist<<32 | index)
+// keys — allocation-free and with deterministic tie-breaking by index.
+func heapPush(h []uint64, v uint64) []uint64 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []uint64) (uint64, []uint64) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}

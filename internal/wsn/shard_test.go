@@ -1,0 +1,287 @@
+package wsn
+
+import (
+	"testing"
+
+	"zeiot/internal/geom"
+	"zeiot/internal/rng"
+)
+
+// checkShardedMatchesDense asserts, for every (i, j) pair, that the sharded
+// network's hop distances equal the dense reference's, and that sharded
+// routes are valid shortest paths (endpoints, length == hops, consecutive
+// structural links, no failed nodes). Route node sequences are not compared
+// byte-for-byte: multiple shortest paths can exist and the two cores break
+// ties differently — the metric, not the tie-break, is the contract.
+func checkShardedMatchesDense(t *testing.T, sharded, dense *Network, tag string) {
+	t.Helper()
+	size := dense.NumNodes()
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			want := dense.Hops(i, j)
+			got := sharded.Hops(i, j)
+			if got != want {
+				t.Fatalf("%s: Hops(%d,%d) = %d, dense = %d", tag, i, j, got, want)
+			}
+			if want < 0 {
+				if _, err := sharded.Route(i, j); err == nil {
+					t.Fatalf("%s: Route(%d,%d) succeeded on unreachable pair", tag, i, j)
+				}
+				continue
+			}
+			route, err := sharded.Route(i, j)
+			if err != nil {
+				t.Fatalf("%s: Route(%d,%d): %v", tag, i, j, err)
+			}
+			if route[0] != i || route[len(route)-1] != j {
+				t.Fatalf("%s: Route(%d,%d) endpoints %v", tag, i, j, route)
+			}
+			if len(route)-1 != want {
+				t.Fatalf("%s: Route(%d,%d) length %d != hops %d (%v)", tag, i, j, len(route)-1, want, route)
+			}
+			for k, v := range route {
+				if sharded.Node(v).Failed {
+					t.Fatalf("%s: Route(%d,%d) passes failed node %d", tag, i, j, v)
+				}
+				if k > 0 && !dense.Linked(route[k-1], v) {
+					t.Fatalf("%s: Route(%d,%d) uses non-link %d-%d", tag, i, j, route[k-1], v)
+				}
+			}
+		}
+	}
+}
+
+// shardedDensePair builds the same random deployment on both cores. Small
+// shard targets force several shards even at test sizes.
+func shardedDensePair(seed uint64, nodes int, area, maxRange float64) (*Network, *Network) {
+	s := rng.New(seed)
+	positions := make([]geom.Point, nodes)
+	for i := range positions {
+		positions[i] = geom.Point{X: s.Float64() * area, Y: s.Float64() * area}
+	}
+	sharded := NewSharded(positions, maxRange, ShardOptions{TargetShardSize: 8})
+	dense := New(positions, maxRange)
+	return sharded, dense
+}
+
+// TestShardedMatchesDenseUnderChurn is the PR 7 incremental-repair property
+// test: random Fail/Recover sequences, full pairwise agreement with a dense
+// reference at every step. Run under -race by ci.sh.
+func TestShardedMatchesDenseUnderChurn(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		sharded, dense := shardedDensePair(seed, 60, 12, 2.4)
+		checkShardedMatchesDense(t, sharded, dense, "initial")
+		churn := rng.New(seed).Split("churn")
+		var failed []int
+		for step := 0; step < 25; step++ {
+			if len(failed) > 0 && churn.Float64() < 0.4 {
+				k := churn.Intn(len(failed))
+				id := failed[k]
+				failed = append(failed[:k], failed[k+1:]...)
+				sharded.Recover(id)
+				dense.Recover(id)
+			} else {
+				id := churn.Intn(sharded.NumNodes())
+				if !sharded.Node(id).Failed {
+					failed = append(failed, id)
+				}
+				sharded.Fail(id)
+				dense.Fail(id)
+			}
+			checkShardedMatchesDense(t, sharded, dense, "churn step")
+		}
+	}
+}
+
+// TestShardedGridMatchesDense covers the regular-grid geometry the
+// experiments use (diagonal links, corner cases of the tiling).
+func TestShardedGridMatchesDense(t *testing.T) {
+	sharded := NewGridSharded(7, 9, 1, ShardOptions{TargetShardSize: 8})
+	dense := NewGrid(7, 9, 1)
+	checkShardedMatchesDense(t, sharded, dense, "grid")
+	for _, id := range []int{0, 31, 32, 40, 62} {
+		sharded.Fail(id)
+		dense.Fail(id)
+	}
+	checkShardedMatchesDense(t, sharded, dense, "grid after fails")
+	sharded.Recover(32)
+	dense.Recover(32)
+	checkShardedMatchesDense(t, sharded, dense, "grid after recover")
+}
+
+// FuzzShardedChurn drives arbitrary flip sequences from fuzz input bytes:
+// each byte flips node b % N (Fail if live, Recover if failed), checking a
+// sample of pairs against the dense reference after every flip.
+func FuzzShardedChurn(f *testing.F) {
+	f.Add([]byte{3, 17, 3, 40, 41, 42, 17})
+	f.Add([]byte{0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, flips []byte) {
+		if len(flips) > 64 {
+			flips = flips[:64]
+		}
+		sharded, dense := shardedDensePair(7, 48, 10, 2.2)
+		size := dense.NumNodes()
+		for _, b := range flips {
+			id := int(b) % size
+			if sharded.Node(id).Failed {
+				sharded.Recover(id)
+				dense.Recover(id)
+			} else {
+				sharded.Fail(id)
+				dense.Fail(id)
+			}
+			for p := 0; p < size; p += 5 {
+				q := (p*13 + int(b)) % size
+				if got, want := sharded.Hops(p, q), dense.Hops(p, q); got != want {
+					t.Fatalf("Hops(%d,%d) = %d, dense = %d", p, q, got, want)
+				}
+			}
+		}
+		checkShardedMatchesDense(t, sharded, dense, "final")
+	})
+}
+
+// TestShardedIncrementalRepair verifies the PR 7 repair contract directly:
+// flips never trigger another full structural build, only the flipped
+// node's shard epoch moves, and unrelated shards' tables are not rebuilt.
+func TestShardedIncrementalRepair(t *testing.T) {
+	n := NewGridSharded(20, 20, 1, ShardOptions{TargetShardSize: 25})
+	if !n.Sharded() {
+		t.Fatal("expected sharded core")
+	}
+	// Warm every shard's tables and the corner source's overlay state.
+	n.HopsRow(0)
+	full0, shard0, _ := n.RebuildStats()
+	if full0 != 1 {
+		t.Fatalf("full builds after warm-up = %d, want 1", full0)
+	}
+	if shard0 == 0 {
+		t.Fatal("warm-up built no shard tables")
+	}
+	victim := 399 // opposite corner from source 0
+	vs := n.ShardOf(victim)
+	epochs := make([]uint64, n.NumShards())
+	for s := range epochs {
+		epochs[s] = n.ShardEpoch(s)
+	}
+	n.Fail(victim)
+	for s := range epochs {
+		want := epochs[s]
+		if s == vs {
+			want++
+		}
+		if got := n.ShardEpoch(s); got != want {
+			t.Fatalf("shard %d epoch = %d, want %d", s, got, want)
+		}
+	}
+	if n.RecoverGen() != 0 {
+		t.Fatalf("RecoverGen moved on Fail")
+	}
+	// Re-query: only the victim's shard may rebuild its tables (the
+	// overlay re-runs, but per-shard work is bounded to the touched shard).
+	_, sBefore, _ := n.RebuildStats()
+	n.HopsRow(0)
+	full1, sAfter, _ := n.RebuildStats()
+	if full1 != 1 {
+		t.Fatalf("flip triggered a full rebuild (full = %d)", full1)
+	}
+	if rebuilt := sAfter - sBefore; rebuilt != 1 {
+		t.Fatalf("flip rebuilt %d shard tables, want 1", rebuilt)
+	}
+	n.Recover(victim)
+	if n.RecoverGen() != 1 {
+		t.Fatalf("RecoverGen = %d after Recover, want 1", n.RecoverGen())
+	}
+}
+
+// TestShardedRouteMemoSurvivesUnrelatedFail pins the cache-survival
+// property the plan cache builds on: a Fail in a shard a memoized route
+// never touches must not evict it (a Recover must, anywhere).
+func TestShardedRouteMemoSurvivesUnrelatedFail(t *testing.T) {
+	n := NewGridSharded(20, 20, 1, ShardOptions{TargetShardSize: 25})
+	// Route along the top edge; churn the bottom-right corner.
+	if _, err := n.Route(0, 19); err != nil {
+		t.Fatal(err)
+	}
+	hits0, miss0 := n.RouteCacheStats()
+	n.Fail(399)
+	if _, err := n.Route(0, 19); err != nil {
+		t.Fatal(err)
+	}
+	hits1, miss1 := n.RouteCacheStats()
+	if hits1 != hits0+1 || miss1 != miss0 {
+		t.Fatalf("unrelated Fail evicted route memo: hits %d→%d misses %d→%d", hits0, hits1, miss0, miss1)
+	}
+	n.Recover(399)
+	if _, err := n.Route(0, 19); err != nil {
+		t.Fatal(err)
+	}
+	hits2, miss2 := n.RouteCacheStats()
+	if miss2 != miss1+1 {
+		t.Fatalf("Recover did not invalidate route memo: hits %d→%d misses %d→%d", hits1, hits2, miss1, miss2)
+	}
+}
+
+// TestAutoShardThreshold pins the facade contract: experiment-scale
+// networks stay dense (byte-identical results), crowd-scale ones shard.
+func TestAutoShardThreshold(t *testing.T) {
+	if NewGrid(5, 10, 1).Sharded() {
+		t.Fatal("small grid sharded; experiment results would change")
+	}
+	positions := make([]geom.Point, AutoShardThreshold)
+	for i := range positions {
+		positions[i] = geom.Point{X: float64(i % 64), Y: float64(i / 64)}
+	}
+	if !New(positions, 1.5).Sharded() {
+		t.Fatal("threshold-size network not sharded")
+	}
+	if !NewFromRadioPlan(positions, DefaultRadioPlan()).Sharded() {
+		t.Fatal("threshold-size radio-plan network not sharded")
+	}
+}
+
+// TestRebuildSteadyStateAllocFree pins the rebuild() scratch reuse: after
+// the first build sizes the buffers, topology flips must rebuild the dense
+// tables without allocating.
+func TestRebuildSteadyStateAllocFree(t *testing.T) {
+	n := NewGrid(8, 8, 1)
+	// Warm: first rebuild allocates the scratch, the flip cycle below
+	// re-sizes adjacency rows to their steady-state capacities.
+	n.Fail(9)
+	_ = n.Hops(0, 63)
+	n.Recover(9)
+	_ = n.Hops(0, 63)
+	allocs := testing.AllocsPerRun(20, func() {
+		n.Fail(9)
+		_ = n.Hops(0, 63)
+		n.Recover(9)
+		_ = n.Hops(0, 63)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state rebuild allocates %.1f objects/cycle, want 0", allocs)
+	}
+}
+
+// TestShardedSendMatchesDenseCharges checks the facade end-to-end: Send on
+// the sharded core charges the same totals as dense (route lengths agree
+// even when the chosen shortest paths differ).
+func TestShardedSendMatchesDenseCharges(t *testing.T) {
+	sharded := NewGridSharded(6, 6, 1, ShardOptions{TargetShardSize: 9})
+	dense := NewGrid(6, 6, 1)
+	for _, pair := range [][2]int{{0, 35}, {5, 30}, {14, 21}} {
+		sh, err := sharded.Send(pair[0], pair[1], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dh, err := dense.Send(pair[0], pair[1], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh != dh {
+			t.Fatalf("Send(%v) hops sharded %d dense %d", pair, sh, dh)
+		}
+	}
+	if sharded.TotalCost() != dense.TotalCost() {
+		t.Fatalf("TotalCost sharded %d dense %d", sharded.TotalCost(), dense.TotalCost())
+	}
+}

@@ -1,0 +1,149 @@
+package wsn
+
+import (
+	"math"
+	"sort"
+
+	"zeiot/internal/geom"
+)
+
+// csr is a compressed sparse row view of the structural connectivity graph:
+// the neighbours of node i are list[off[i]:off[i+1]], sorted ascending. The
+// structure ignores Failed flags — it records which links exist physically,
+// and traversals filter dead endpoints at query time, so a Fail/Recover flip
+// never has to touch the adjacency at all.
+type csr struct {
+	off  []int32
+	list []int32
+}
+
+func (c *csr) neighbors(i int) []int32 { return c.list[c.off[i]:c.off[i+1]] }
+
+// contains reports whether j is a structural neighbour of i (binary search
+// over the sorted row).
+func (c *csr) contains(i, j int) bool {
+	row := c.neighbors(i)
+	k := sort.Search(len(row), func(m int) bool { return row[m] >= int32(j) })
+	return k < len(row) && row[k] == int32(j)
+}
+
+// MaxLinkDist returns an upper bound on the distance at which a link under
+// this plan can close: the range where bare path loss (no walls — walls only
+// subtract further) eats the whole budget. Used to size the spatial hash
+// cells of the sparse adjacency builder.
+func (p RadioPlan) MaxLinkDist() float64 {
+	allow := p.TxDBm - p.SensitivityDBm - p.FadeMarginDB - p.Model.RefLossDB
+	if allow <= 0 || p.Model.Exponent <= 0 {
+		return p.Model.RefDist
+	}
+	return p.Model.RefDist * math.Pow(10, allow/(10*p.Model.Exponent))
+}
+
+// maxLinkDist returns the link-distance cutoff for the network's
+// connectivity predicate (fixed range or radio-plan budget).
+func (n *Network) maxLinkDist() float64 {
+	if n.plan != nil {
+		return n.plan.MaxLinkDist()
+	}
+	return n.maxRange
+}
+
+// buildCSR derives the structural adjacency from node positions with a
+// uniform spatial hash: cells of side maxDist, so every candidate neighbour
+// of a node lies in its 3×3 cell block. Total work is O(N·deg) instead of
+// the dense builder's O(N²) pair scan.
+func buildCSR(nodes []*Node, link func(a, b *Node) bool, maxDist float64) csr {
+	n := len(nodes)
+	if n == 0 {
+		return csr{off: make([]int32, 1)}
+	}
+	if maxDist <= 0 {
+		maxDist = 1
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, nd := range nodes {
+		minX = math.Min(minX, nd.Pos.X)
+		minY = math.Min(minY, nd.Pos.Y)
+		maxX = math.Max(maxX, nd.Pos.X)
+		maxY = math.Max(maxY, nd.Pos.Y)
+	}
+	cols := int((maxX-minX)/maxDist) + 1
+	rows := int((maxY-minY)/maxDist) + 1
+	cellOf := func(p geom.Point) int {
+		cx := int((p.X - minX) / maxDist)
+		cy := int((p.Y - minY) / maxDist)
+		return cy*cols + cx
+	}
+	// Counting sort of node ids by cell.
+	start := make([]int32, rows*cols+1)
+	for _, nd := range nodes {
+		start[cellOf(nd.Pos)+1]++
+	}
+	for c := 1; c < len(start); c++ {
+		start[c] += start[c-1]
+	}
+	ids := make([]int32, n)
+	fill := append([]int32(nil), start[:len(start)-1]...)
+	for i, nd := range nodes {
+		c := cellOf(nd.Pos)
+		ids[fill[c]] = int32(i)
+		fill[c]++
+	}
+	// Enumerate each candidate pair once via a half neighbourhood (same
+	// cell i<j, then E, SW, S, SE cells), append both directions.
+	tmp := make([][]int32, n)
+	maxDistSq := maxDist * maxDist
+	tryPair := func(a, b int32) {
+		pa, pb := nodes[a].Pos, nodes[b].Pos
+		dx, dy := pa.X-pb.X, pa.Y-pb.Y
+		if dx*dx+dy*dy > maxDistSq {
+			return
+		}
+		if !link(nodes[a], nodes[b]) {
+			return
+		}
+		tmp[a] = append(tmp[a], b)
+		tmp[b] = append(tmp[b], a)
+	}
+	half := [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			c := cy*cols + cx
+			cell := ids[start[c]:start[c+1]]
+			for ai, a := range cell {
+				for _, b := range cell[ai+1:] {
+					tryPair(a, b)
+				}
+			}
+			for _, d := range half {
+				nx, ny := cx+d[0], cy+d[1]
+				if nx < 0 || nx >= cols || ny >= rows {
+					continue
+				}
+				nc := ny*cols + nx
+				other := ids[start[nc]:start[nc+1]]
+				for _, a := range cell {
+					for _, b := range other {
+						tryPair(a, b)
+					}
+				}
+			}
+		}
+	}
+	// Flatten into CSR with ascending rows (matches the dense builder's
+	// ascending-j neighbour order, which every BFS tie-break relies on).
+	out := csr{off: make([]int32, n+1)}
+	total := 0
+	for i := range tmp {
+		total += len(tmp[i])
+	}
+	out.list = make([]int32, 0, total)
+	for i := range tmp {
+		row := tmp[i]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		out.list = append(out.list, row...)
+		out.off[i+1] = int32(len(out.list))
+	}
+	return out
+}

@@ -16,6 +16,7 @@ package wsn
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"zeiot/internal/geom"
@@ -54,6 +55,17 @@ type Network struct {
 	hops     [][]int
 	next     [][]int
 	dirty    bool
+	// Dense-core scratch, reused across rebuilds: the flat backing arrays of
+	// hops/next and the BFS queue. nil until the first rebuild sizes them.
+	hopsBuf []int
+	nextBuf []int
+	queue   []int
+	// denseRebuilds counts full all-pairs rebuilds (RebuildStats).
+	denseRebuilds uint64
+	// sh is the hierarchical sharded routing core (shard.go). When non-nil,
+	// every routing query dispatches to it and the dense tables above stay
+	// empty; small networks keep sh nil and the original dense path.
+	sh *shardCore
 	// epoch counts topology changes (Fail/Recover that actually flip a
 	// node's state). Callers that cache route- or plan-derived data key it
 	// on TopologyEpoch and invalidate when the value moves.
@@ -73,8 +85,13 @@ type Network struct {
 }
 
 // New builds a network from node positions; two live nodes are linked when
-// within maxRange metres of each other.
+// within maxRange metres of each other. At AutoShardThreshold nodes and
+// above it switches to the hierarchical sharded core (see shard.go), which
+// answers the same queries exactly without dense N×N tables.
 func New(positions []geom.Point, maxRange float64) *Network {
+	if len(positions) >= AutoShardThreshold {
+		return NewSharded(positions, maxRange, ShardOptions{})
+	}
 	if maxRange <= 0 {
 		panic("wsn: non-positive range")
 	}
@@ -123,12 +140,18 @@ func (n *Network) Live() []int {
 	return out
 }
 
-// Fail marks a node as broken; it stops linking and forwarding.
+// Fail marks a node as broken; it stops linking and forwarding. On the
+// sharded core this is incremental: only the node's shard epoch (and the
+// per-source overlay caches) are invalidated, never the whole table set.
 func (n *Network) Fail(id int) {
 	if !n.nodes[id].Failed {
 		n.nodes[id].Failed = true
-		n.dirty = true
 		n.epoch++
+		if n.sh != nil {
+			n.sh.flip(id, false)
+		} else {
+			n.dirty = true
+		}
 	}
 }
 
@@ -136,8 +159,12 @@ func (n *Network) Fail(id int) {
 func (n *Network) Recover(id int) {
 	if n.nodes[id].Failed {
 		n.nodes[id].Failed = false
-		n.dirty = true
 		n.epoch++
+		if n.sh != nil {
+			n.sh.flip(id, true)
+		} else {
+			n.dirty = true
+		}
 	}
 }
 
@@ -154,8 +181,27 @@ func (n *Network) TopologyEpoch() uint64 { return n.epoch }
 
 func (n *Network) rebuild() {
 	size := len(n.nodes)
-	n.adj = make([][]int, size)
+	n.denseRebuilds++
+	// First rebuild sizes the scratch; later rebuilds (topology flips)
+	// reuse it. Safe because HopsTable and Neighbors hand out views that
+	// are only valid until the next topology change — unlike Route's arena,
+	// whose slices must survive rebuilds and therefore stay freshly
+	// allocated (see below).
+	if n.adj == nil {
+		n.adj = make([][]int, size)
+		flat := make([]int, 2*size*size)
+		n.hopsBuf, n.nextBuf = flat[:size*size], flat[size*size:]
+		n.hops = make([][]int, size)
+		n.next = make([][]int, size)
+		for s := 0; s < size; s++ {
+			n.hops[s] = n.hopsBuf[s*size : (s+1)*size : (s+1)*size]
+			n.next[s] = n.nextBuf[s*size : (s+1)*size : (s+1)*size]
+		}
+		n.queue = make([]int, 0, size)
+		n.routes = make([][]int, size*size)
+	}
 	for i := 0; i < size; i++ {
+		n.adj[i] = n.adj[i][:0]
 		if n.nodes[i].Failed {
 			continue
 		}
@@ -169,27 +215,22 @@ func (n *Network) rebuild() {
 		}
 	}
 	// BFS from every node for hop counts and first-hop routing.
-	n.hops = make([][]int, size)
-	n.next = make([][]int, size)
-	queue := make([]int, 0, size)
+	queue := n.queue
 	for s := 0; s < size; s++ {
-		h := make([]int, size)
-		nx := make([]int, size)
+		h := n.hops[s]
+		nx := n.next[s]
 		for i := range h {
 			h[i] = -1
 			nx[i] = -1
 		}
-		n.hops[s] = h
-		n.next[s] = nx
 		if n.nodes[s].Failed {
 			continue
 		}
 		h[s] = 0
 		queue = queue[:0]
 		queue = append(queue, s)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			for _, v := range n.adj[u] {
 				if h[v] != -1 {
 					continue
@@ -204,10 +245,11 @@ func (n *Network) rebuild() {
 			}
 		}
 	}
+	n.queue = queue[:0]
 	// Reset the route memo. The arena is freshly allocated rather than
 	// truncated: route slices handed out before the rebuild must keep
 	// their contents.
-	n.routes = make([][]int, size*size)
+	clear(n.routes)
 	n.routeArena = nil
 	n.dirty = false
 }
@@ -218,25 +260,36 @@ func (n *Network) ensure() {
 	}
 }
 
-// Linked reports whether i and j share a direct link.
+// Linked reports whether i and j share a direct link. Adjacency rows are
+// sorted ascending (the dense builder scans j ascending; CSR rows are
+// sorted), so this is a binary search instead of the old linear scan —
+// the difference matters in dense deployments where degree approaches N.
 func (n *Network) Linked(i, j int) bool {
-	n.ensure()
-	for _, v := range n.adj[i] {
-		if v == j {
-			return true
-		}
+	if n.sh != nil {
+		return n.sh.linked(i, j)
 	}
-	return false
+	n.ensure()
+	row := n.adj[i]
+	k := sort.SearchInts(row, j)
+	return k < len(row) && row[k] == j
 }
 
-// Neighbors returns the direct neighbours of i.
+// Neighbors returns the direct neighbours of i. The slice is shared with
+// the network and valid until the next topology change; callers must treat
+// it as read-only. On the sharded core it is allocated per call.
 func (n *Network) Neighbors(i int) []int {
+	if n.sh != nil {
+		return n.sh.liveNeighbors(i, nil)
+	}
 	n.ensure()
 	return n.adj[i]
 }
 
 // Hops returns the hop distance between i and j, or -1 if unreachable.
 func (n *Network) Hops(i, j int) int {
+	if n.sh != nil {
+		return n.sh.hops(i, j)
+	}
 	n.ensure()
 	return n.hops[i][j]
 }
@@ -244,15 +297,39 @@ func (n *Network) Hops(i, j int) int {
 // HopsTable returns the full hop-distance matrix indexed [from][to], with
 // -1 for unreachable pairs. The table is shared with the network and valid
 // until the next topology change; callers must treat it as read-only.
+// Sharded networks materialize the matrix on demand — at crowd scale that
+// is quadratic, so scale-aware callers should use HopsRow or Hops instead.
 func (n *Network) HopsTable() [][]int {
+	if n.sh != nil {
+		out := make([][]int, len(n.nodes))
+		for i := range out {
+			out[i] = n.sh.hopsRow(i)
+		}
+		return out
+	}
 	n.ensure()
 	return n.hops
+}
+
+// HopsRow returns hop distances from src to every node (-1 unreachable).
+// The row is shared and valid until the next topology change; callers must
+// treat it as read-only. Unlike HopsTable this stays cheap on the sharded
+// core: one per-source state serves the whole row.
+func (n *Network) HopsRow(src int) []int {
+	if n.sh != nil {
+		return n.sh.hopsRow(src)
+	}
+	n.ensure()
+	return n.hops[src]
 }
 
 // Route returns the node sequence from i to j inclusive. The slice is a
 // memoized view shared by every caller asking for the same pair under the
 // current topology; it must be treated as read-only.
 func (n *Network) Route(i, j int) ([]int, error) {
+	if n.sh != nil {
+		return n.sh.route(i, j)
+	}
 	n.ensure()
 	if n.hops[i][j] < 0 {
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, i, j)
@@ -283,8 +360,64 @@ func (n *Network) RouteCacheStats() (hits, misses uint64) {
 	return n.routeHits, n.routeMisses
 }
 
+// RouteCacheStats is defined below; RebuildStats complements it with how
+// much routing state has been recomputed over the network's lifetime:
+// full all-pairs (dense) or structural (sharded) builds, per-shard table
+// builds, and per-source overlay builds. On the dense core only full moves;
+// on the sharded core full stays at 1 — flips must never force another —
+// while shard and overlay count the incremental repair work.
+func (n *Network) RebuildStats() (full, shard, overlay uint64) {
+	if n.sh != nil {
+		return n.sh.fullBuilds, n.sh.shardBuilds, n.sh.overlayBuilds
+	}
+	return n.denseRebuilds, 0, 0
+}
+
+// Sharded reports whether this network runs on the hierarchical core.
+func (n *Network) Sharded() bool { return n.sh != nil }
+
+// NumShards returns the shard count (0 for dense networks).
+func (n *Network) NumShards() int {
+	if n.sh == nil {
+		return 0
+	}
+	return len(n.sh.shards)
+}
+
+// ShardOf returns the shard index of a node, or -1 on dense networks.
+func (n *Network) ShardOf(id int) int {
+	if n.sh == nil {
+		return -1
+	}
+	return int(n.sh.shardOf[id])
+}
+
+// ShardEpoch returns the given shard's epoch: it advances only when a node
+// of that shard flips, so caches keyed on the epochs of the shards they
+// touch survive unrelated churn (0 for dense networks).
+func (n *Network) ShardEpoch(shard int) uint64 {
+	if n.sh == nil {
+		return 0
+	}
+	return n.sh.shards[shard].epoch
+}
+
+// RecoverGen advances on every effective Recover. Caches that key on
+// touched-shard epochs must also key on this: a recovery can shorten routes
+// in shards it does not belong to, whereas a Fail cannot (0 for dense
+// networks, whose TopologyEpoch keying already covers both).
+func (n *Network) RecoverGen() uint64 {
+	if n.sh == nil {
+		return 0
+	}
+	return n.sh.recoverGen
+}
+
 // Connected reports whether all live nodes form one component.
 func (n *Network) Connected() bool {
+	if n.sh != nil {
+		return n.sh.connected()
+	}
 	n.ensure()
 	live := n.Live()
 	if len(live) <= 1 {
@@ -378,11 +511,19 @@ type LinkRSSI struct {
 func (n *Network) MeasureInterNode(model radio.LogDistance, txDBm float64, people []geom.Point, bodyR float64, stream *rng.Stream) []LinkRSSI {
 	n.ensure()
 	var out []LinkRSSI
+	var scratch []int
 	for i := range n.nodes {
 		if n.nodes[i].Failed {
 			continue
 		}
-		for _, j := range n.adj[i] {
+		var nbrs []int
+		if n.sh != nil {
+			scratch = n.sh.liveNeighbors(i, scratch[:0])
+			nbrs = scratch
+		} else {
+			nbrs = n.adj[i]
+		}
+		for _, j := range nbrs {
 			rssi := model.RSSI(txDBm, 0, 0, geom.Dist(n.nodes[i].Pos, n.nodes[j].Pos), stream)
 			rssi -= radio.ObstructionLossDB(n.nodes[i].Pos, n.nodes[j].Pos, people, bodyR)
 			out = append(out, LinkRSSI{From: i, To: j, DBm: rssi})

@@ -47,6 +47,12 @@ type RunConfig struct {
 	// with TrainWorkers); only wall time moves. 0 or 1 keeps the per-sample
 	// paths.
 	BatchKernel int
+	// Nodes overrides the node count of the experiments that own a
+	// free-scale deployment (currently e16's crowd field, default 100,000).
+	// 0 keeps each experiment's default; experiments with paper-fixed
+	// topologies ignore it. Node counts at or above wsn.AutoShardThreshold
+	// run on the sharded routing core (e16 always does).
+	Nodes int
 	// Quantize additionally evaluates trained CNNs through int8 fixed-point
 	// inference (per-tensor symmetric, calibrated activation scales, int32
 	// accumulators) in the experiments that train CNNs (e1, e2, e13), adding
@@ -158,6 +164,9 @@ func (c *RunConfig) Validate() error {
 	if c.BatchKernel < 0 {
 		return fmt.Errorf("zeiot: RunConfig.BatchKernel %d is negative (0 or 1 keeps per-sample training)", c.BatchKernel)
 	}
+	if c.Nodes < 0 {
+		return fmt.Errorf("zeiot: RunConfig.Nodes %d is negative (0 keeps the experiment default)", c.Nodes)
+	}
 	l := c.Loss
 	if l.DropProb < 0 || l.DropProb > 1 {
 		return fmt.Errorf("zeiot: RunConfig.Loss.DropProb %g outside [0, 1]", l.DropProb)
@@ -255,6 +264,9 @@ func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
 		if cfg.Quantize {
 			rec.Gauge("config_quantize", 1)
 		}
+		if cfg.Nodes > 0 {
+			rec.Gauge("config_nodes", float64(cfg.Nodes))
+		}
 		if cfg.Loss.Enabled {
 			rec.Gauge("config_loss_drop_prob", cfg.Loss.DropProb)
 			rec.Gauge("config_loss_max_retries", float64(cfg.Loss.MaxRetries))
@@ -307,9 +319,27 @@ func (h *harness) observeWSN(prefix string, w *wsn.Network) {
 		rec.Observe(prefix+"node_tx_scalars", float64(w.Node(i).TxScalars))
 		rec.Observe(prefix+"node_rx_scalars", float64(w.Node(i).RxScalars))
 	}
+	h.observeWSNCaches(prefix, w)
+}
+
+// observeWSNCaches publishes a network's routing-cache and rebuild counters
+// under prefix: route-memo hit/miss totals plus the PR 7 repair counters
+// (full structural builds, per-shard table rebuilds, per-source overlay
+// builds — the dense core reports its table rebuilds as full builds). E16
+// uses this directly because at crowd scale the per-node series observeWSN
+// also emits would dominate the export. A no-op without a recorder.
+func (h *harness) observeWSNCaches(prefix string, w *wsn.Network) {
+	rec := h.cfg.Recorder
+	if rec == nil {
+		return
+	}
 	hits, misses := w.RouteCacheStats()
 	rec.Gauge(prefix+"route_cache_hits", float64(hits))
 	rec.Gauge(prefix+"route_cache_misses", float64(misses))
+	full, shard, overlay := w.RebuildStats()
+	rec.Gauge(prefix+"full_rebuilds", float64(full))
+	rec.Gauge(prefix+"shard_rebuilds", float64(shard))
+	rec.Gauge(prefix+"overlay_builds", float64(overlay))
 }
 
 // observePlanCache publishes a unit graph's transfer-plan cache hit/miss
