@@ -1,6 +1,7 @@
 package zeiot_test
 
 import (
+	"bytes"
 	"context"
 	"strconv"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"zeiot"
 	"zeiot/internal/cnn"
 	"zeiot/internal/csi"
+	"zeiot/internal/dataset"
 	"zeiot/internal/geom"
 	"zeiot/internal/mac"
 	"zeiot/internal/microdeep"
@@ -406,3 +408,41 @@ func BenchmarkE12SurveySensing(b *testing.B) { benchExperiment(b, "e12") }
 func BenchmarkE13AthleteHAR(b *testing.B)    { benchExperiment(b, "e13") }
 func BenchmarkE14Intrusion(b *testing.B)     { benchExperiment(b, "e14") }
 func BenchmarkE15Vitals(b *testing.B)        { benchExperiment(b, "e15") }
+
+func BenchmarkE17Intermittent(b *testing.B) { benchExperiment(b, "e17") }
+
+// BenchmarkTrainerCheckpoint measures the intermittent runtime's insurance
+// premium: one mid-training Save plus a full ResumeTrainer round-trip of
+// the e2 lounge net, with the checkpoint size as a metric.
+func BenchmarkTrainerCheckpoint(b *testing.B) {
+	samples := benchLoungeSamples(b, 96)
+	tr := cnn.NewTrainer(benchNet2(1), cnn.NewSGD(0.02, 0.9), rng.New(3).Split("fit"), samples, 8, 16, 1)
+	tr.Step(2)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tr.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cnn.ResumeTrainer(bytes.NewReader(buf.Bytes()), samples, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(buf.Len()), "checkpoint_bytes")
+}
+
+// benchLoungeSamples is loungeSamples for benchmarks (testing.B, not .T).
+func benchLoungeSamples(b *testing.B, n int) []cnn.Sample {
+	b.Helper()
+	cfg := dataset.DefaultLoungeConfig()
+	cfg.Seed = 7
+	cfg.Samples = n
+	samples, err := dataset.GenerateLounge(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return samples
+}

@@ -74,3 +74,34 @@ grep -v walltime_ "$m2" | diff -u "$smoke" -
 # The export is non-trivial: training curves and cache stats are present.
 grep -q zeiot_e1_optimal_train_loss "$m1"
 grep -q zeiot_e1_wsn_route_cache_hits "$m1"
+
+# Intermittent-runtime smoke (PR 8): e17 at seed 1 must emit exactly the
+# checked-in golden JSON, serially and under parallel training.
+go run ./cmd/zeiotbench -e e17 -seed 1 -json > "$smoke"
+diff -u testdata/e17_seed1.golden.json "$smoke"
+go run ./cmd/zeiotbench -e e17 -seed 1 -trainworkers 4 -json > "$smoke"
+diff -u testdata/e17_seed1.golden.json "$smoke"
+
+# Checkpoint kill/resume smoke: a simulated power failure must exit
+# nonzero after writing the checkpoint, and the resumed run must emit the
+# byte-identical golden of an uninterrupted run.
+ck="$(mktemp -u)"
+if go run ./cmd/zeiotbench -e e17 -seed 1 -checkpoint "$ck" -killafter 200 -json > /dev/null 2>&1; then
+    echo "killed e17 run exited zero" >&2
+    exit 1
+fi
+test -s "$ck"
+go run ./cmd/zeiotbench -e e17 -seed 1 -checkpoint "$ck" -resume -json > "$smoke"
+rm -f "$ck"
+diff -u testdata/e17_seed1.golden.json "$smoke"
+
+# Kill/resume flags without a checkpoint path must be an explicit error.
+if go run ./cmd/zeiotbench -e e17 -killafter 5 > /dev/null 2>&1; then
+    echo "zeiotbench accepted -killafter without -checkpoint" >&2
+    exit 1
+fi
+
+# The -nodes ownership rule: comma lists scope the override to the
+# experiments that own a free-scale deployment (e16 honours 3000, e7's
+# paper-fixed link budget ignores its 0 entry and stays golden).
+go run ./cmd/zeiotbench -e e16,e7 -nodes 3000,0 -samples 0.05,1 -seed 1 -json > /dev/null

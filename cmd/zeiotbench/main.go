@@ -13,6 +13,9 @@
 //	zeiotbench -batchkernel 8  # batched im2col/GEMM CNN training (results unchanged)
 //	zeiotbench -quant          # add int8 fixed-point inference rows (e1/e2/e13)
 //	zeiotbench -e e16 -nodes 100000  # crowd-scale node count (free-scale experiments)
+//	zeiotbench -e e17 -harvest 2 -harvestprofile solar  # intermittent-power runtime knobs
+//	zeiotbench -e e17 -checkpoint f.ck -killafter 200   # simulate a power failure (exits nonzero)
+//	zeiotbench -e e17 -checkpoint f.ck -resume          # resume; output matches an uninterrupted run
 //	zeiotbench -timings        # keep per-stage wall times in the output
 //	zeiotbench -metrics        # collect observability metrics; keep them in -json output
 //	zeiotbench -metrics-out m.prom  # also export them as Prometheus text
@@ -21,8 +24,8 @@
 //	zeiotbench -list           # list experiments
 //
 // The per-run flags -trainworkers, -samples, -repeats, -loss, -lossburst,
-// -lossretries, -batchkernel, -quant and -nodes also accept a comma-separated list
-// matching the -e list, so
+// -lossretries, -batchkernel, -quant, -nodes, -harvest and -harvestprofile
+// also accept a comma-separated list matching the -e list, so
 // -parallel can legally run differently-configured experiments concurrently:
 //
 //	zeiotbench -e e1,e8 -parallel 2 -trainworkers 1,4 -loss 0,0.1
@@ -95,6 +98,11 @@ func run() int {
 		batchK   = flag.String("batchkernel", "0", "batched im2col/GEMM CNN training block size (0/1 = per-sample; any value yields bit-identical results)")
 		quant    = flag.String("quant", "false", "add int8 fixed-point inference accuracy rows to the CNN experiments (e1/e2/e13)")
 		nodesF   = flag.String("nodes", "0", "node count for free-scale experiments (e16; 0 = experiment default)")
+		harvF    = flag.String("harvest", "0", "harvest power scale for the intermittent runtime (e17; 0 or 1 = paper defaults)")
+		harvP    = flag.String("harvestprofile", "", "harvest trace profile: rf, solar, thermal, or mixed (e17; default mixed)")
+		ckptF    = flag.String("checkpoint", "", "checkpoint file for the e17 kill/resume flow")
+		killF    = flag.Int("killafter", 0, "simulate a power failure after N training batches: write -checkpoint and exit nonzero (e17)")
+		resumeF  = flag.Bool("resume", false, "resume e17 from the -checkpoint file instead of starting fresh")
 		metrics  = flag.Bool("metrics", false, "collect observability metrics and keep the metrics block in -json output")
 		metOut   = flag.String("metrics-out", "", "write collected metrics as Prometheus text to this path (implies collection)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while experiments run")
@@ -200,13 +208,26 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals, ndVals)
+	hvVals, err := perRun("harvest", *harvF, n, parseFloat)
+	if err != nil {
+		return fail(err)
+	}
+	hpVals, err := perRun("harvestprofile", *harvP, n, func(s string) (string, error) { return s, nil })
+	if err != nil {
+		return fail(err)
+	}
+	if (*killF > 0 || *resumeF) && *ckptF == "" {
+		return fail(fmt.Errorf("-killafter/-resume require -checkpoint <path>"))
+	}
+	ckpt := zeiot.CheckpointConfig{Path: *ckptF, KillAfterBatches: *killF, Resume: *resumeF}
+	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals, ndVals, hvVals, hpVals, ckpt)
 }
 
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings, metrics bool, metricsOut string,
-	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool, ndVals []int) int {
+	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool, ndVals []int,
+	hvVals []float64, hpVals []string, ckpt zeiot.CheckpointConfig) int {
 
 	// Loss options explicitly passed while every run has -loss 0 would be
 	// silently dead; surface them so RunConfig.Validate rejects the combination.
@@ -245,6 +266,8 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 		rc.BatchKernel = bkVals[i]
 		rc.Quantize = qVals[i]
 		rc.Nodes = ndVals[i]
+		rc.Harvest = zeiot.HarvestConfig{PowerScale: hvVals[i], Profile: hpVals[i]}
+		rc.Checkpoint = ckpt
 		if lossVals[i] > 0 {
 			lc := zeiot.DefaultLossConfig()
 			lc.Enabled = true

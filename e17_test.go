@@ -1,0 +1,133 @@
+package zeiot_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"zeiot"
+)
+
+// e17JSON runs e17 under cfg and returns the indented JSON the CLI would
+// emit (Timings stripped), so tests can compare whole results byte for byte.
+func e17JSON(t *testing.T, cfg *zeiot.RunConfig) []byte {
+	t.Helper()
+	r, err := zeiot.RunE17Intermittent(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Timings = nil
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestE17Deterministic runs the harvest sweep serially and with four
+// training workers at the same seed and requires byte-identical results:
+// harvest traces are pure functions of (seed, node, tick), the capacitor
+// walk is serial, and parallel training is bit-identical to sequential, so
+// the worker count must not move a single number.
+func TestE17Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harvest training sweep twice")
+	}
+	serial := &zeiot.RunConfig{Seed: 1, TrainWorkers: 1}
+	par := &zeiot.RunConfig{Seed: 1, TrainWorkers: 4}
+	a, b := e17JSON(t, serial), e17JSON(t, par)
+	if !bytes.Equal(a, b) {
+		t.Error("e17 result differs between 1 and 4 training workers")
+	}
+}
+
+// TestE17KillResumeBitIdentical is the pinned acceptance property of the
+// intermittent runtime: a run killed by a simulated power failure — at a
+// mid-point batch, and at a sweep-point boundary — must, after resuming
+// from its checkpoint (under a different worker count, even), produce the
+// byte-identical result of a run that was never interrupted.
+func TestE17KillResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harvest training sweep several times")
+	}
+	want := e17JSON(t, &zeiot.RunConfig{Seed: 1, TrainWorkers: 2})
+
+	// 40 kills mid-point 0; 150 lands exactly on point 0's last batch; 310
+	// kills mid-point 2 after two finished points ride along in the file.
+	for _, kill := range []int{40, 150, 310} {
+		t.Run(fmt.Sprintf("killafter=%d", kill), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "e17.ck")
+			killCfg := &zeiot.RunConfig{Seed: 1, TrainWorkers: 2,
+				Checkpoint: zeiot.CheckpointConfig{Path: path, KillAfterBatches: kill}}
+			_, err := zeiot.RunE17Intermittent(context.Background(), killCfg)
+			if !errors.Is(err, zeiot.ErrKilled) {
+				t.Fatalf("killed run returned %v, want ErrKilled", err)
+			}
+			resumeCfg := &zeiot.RunConfig{Seed: 1, TrainWorkers: 4,
+				Checkpoint: zeiot.CheckpointConfig{Path: path, Resume: true}}
+			got := e17JSON(t, resumeCfg)
+			if !bytes.Equal(got, want) {
+				t.Error("resumed run differs from the uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestE17ResumeRejectsForeignCheckpoint pins the config-echo check: a
+// checkpoint written at one seed must not silently resume under another.
+func TestE17ResumeRejectsForeignCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains part of the harvest sweep")
+	}
+	path := filepath.Join(t.TempDir(), "e17.ck")
+	killCfg := &zeiot.RunConfig{Seed: 1,
+		Checkpoint: zeiot.CheckpointConfig{Path: path, KillAfterBatches: 10}}
+	if _, err := zeiot.RunE17Intermittent(context.Background(), killCfg); !errors.Is(err, zeiot.ErrKilled) {
+		t.Fatalf("killed run returned %v, want ErrKilled", err)
+	}
+	resumeCfg := &zeiot.RunConfig{Seed: 2,
+		Checkpoint: zeiot.CheckpointConfig{Path: path, Resume: true}}
+	if _, err := zeiot.RunE17Intermittent(context.Background(), resumeCfg); err == nil {
+		t.Error("resume at a different seed did not fail")
+	}
+}
+
+// TestHarvestCheckpointConfigValidation covers the RunConfig rules the CLI
+// relies on for the new knobs.
+func TestHarvestCheckpointConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(c *zeiot.RunConfig)
+		ok   bool
+	}{
+		{"default", func(c *zeiot.RunConfig) {}, true},
+		{"scale+profile", func(c *zeiot.RunConfig) { c.Harvest = zeiot.HarvestConfig{PowerScale: 2, Profile: "solar"} }, true},
+		{"mixed", func(c *zeiot.RunConfig) { c.Harvest.Profile = "mixed" }, true},
+		{"negative scale", func(c *zeiot.RunConfig) { c.Harvest.PowerScale = -1 }, false},
+		{"unknown profile", func(c *zeiot.RunConfig) { c.Harvest.Profile = "lunar" }, false},
+		{"kill without path", func(c *zeiot.RunConfig) { c.Checkpoint.KillAfterBatches = 5 }, false},
+		{"resume without path", func(c *zeiot.RunConfig) { c.Checkpoint.Resume = true }, false},
+		{"path without mode", func(c *zeiot.RunConfig) { c.Checkpoint.Path = "x.ck" }, false},
+		{"negative kill", func(c *zeiot.RunConfig) { c.Checkpoint = zeiot.CheckpointConfig{Path: "x.ck", KillAfterBatches: -1} }, false},
+		{"kill with path", func(c *zeiot.RunConfig) { c.Checkpoint = zeiot.CheckpointConfig{Path: "x.ck", KillAfterBatches: 5} }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := zeiot.DefaultRunConfig()
+			tc.mut(cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}

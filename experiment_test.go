@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("registry has %d experiments, want 16 (e1..e16)", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (e1..e17)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

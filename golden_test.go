@@ -24,12 +24,13 @@ func TestGoldenDefaultConfig(t *testing.T) {
 	}{
 		{"e1", "e1_seed1.golden.json"},
 		{"e7", "e7_seed1.golden.json"},
+		{"e17", "e17_seed1.golden.json"},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.id, func(t *testing.T) {
-			if tc.id == "e1" && testing.Short() {
-				t.Skip("trains the fall-detection CNNs")
+			if (tc.id == "e1" || tc.id == "e17") && testing.Short() {
+				t.Skip("trains CNNs")
 			}
 			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
 			if err != nil {

@@ -1,0 +1,79 @@
+package zeiot
+
+import (
+	"fmt"
+
+	"zeiot/internal/harvest"
+)
+
+// HarvestConfig enables the intermittent-power dimension of the experiments
+// (RunConfig.Harvest, zeiotbench -harvest/-harvestprofile). Only E17 reads
+// it; the zero value leaves every other experiment's power model untouched,
+// so default summaries keep their bytes.
+type HarvestConfig struct {
+	// PowerScale multiplies E17's mean-harvest-power sweep (25–200 µW by
+	// default). 0 or 1 keeps the paper-scale defaults; 4 quadruples every
+	// node's ambient power, 0.5 halves it.
+	PowerScale float64
+	// Profile selects the harvest trace shape: "rf", "solar", "thermal", or
+	// "mixed"/"" (the default) which sweeps all three.
+	Profile string
+}
+
+// powerScale resolves the effective sweep multiplier.
+func (c HarvestConfig) powerScale() float64 {
+	if c.PowerScale == 0 {
+		return 1
+	}
+	return c.PowerScale
+}
+
+// profiles resolves the configured profile name to the trace profiles E17
+// sweeps. Validate has already rejected unknown names.
+func (c HarvestConfig) profiles() []harvest.Profile {
+	switch c.Profile {
+	case "", "mixed":
+		return []harvest.Profile{harvest.ProfileRF, harvest.ProfileSolar, harvest.ProfileThermal}
+	default:
+		p, err := harvest.ProfileByName(c.Profile)
+		if err != nil {
+			panic(err) // unreachable after Validate
+		}
+		return []harvest.Profile{p}
+	}
+}
+
+// validHarvestProfile reports whether name is accepted by HarvestConfig.
+func validHarvestProfile(name string) bool {
+	if name == "" || name == "mixed" {
+		return true
+	}
+	_, err := harvest.ProfileByName(name)
+	return err == nil
+}
+
+// CheckpointConfig drives E17's kill/resume flow (RunConfig.Checkpoint,
+// zeiotbench -checkpoint/-killafter/-resume): the mechanism that proves a
+// harvest-powered run killed by power loss resumes bit-identically.
+type CheckpointConfig struct {
+	// Path is the checkpoint file. Required when KillAfterBatches or Resume
+	// is set; ignored otherwise.
+	Path string
+	// KillAfterBatches, when > 0, simulates a power failure: the run saves a
+	// checkpoint to Path after that many training batches (counted across
+	// the whole sweep, in this process) and returns ErrKilled.
+	KillAfterBatches int
+	// Resume restarts from the checkpoint at Path instead of from scratch.
+	// The finished result is byte-identical to an uninterrupted run of the
+	// same config.
+	Resume bool
+}
+
+// enabled reports whether any checkpoint behaviour is requested.
+func (c CheckpointConfig) enabled() bool { return c.KillAfterBatches > 0 || c.Resume }
+
+// ErrKilled is returned by an experiment run that stopped at the configured
+// kill point after writing its checkpoint. Callers treat it as the simulated
+// power failure it is: the process "dies" (zeiotbench exits nonzero) and a
+// later -resume run picks the work back up.
+var ErrKilled = fmt.Errorf("zeiot: run killed at checkpoint (simulated power loss)")

@@ -1,0 +1,255 @@
+package cnn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"zeiot/internal/rng"
+)
+
+// Trainer is Fit broken into resumable mini-batch steps for intermittent
+// execution: a harvest-powered node trains one batch whenever its capacitor
+// can fund it, and a power loss between batches checkpoints and later
+// resumes with results bit-identical to an uninterrupted Fit at the same
+// seed.
+//
+// The identity argument: Fit consumes the stream only through one Perm per
+// epoch, steps the optimizer at fixed batch boundaries, and accumulates the
+// epoch loss in sample order. Trainer preserves all three exactly — the
+// cursor only ever rests at a batch boundary (where gradients are zero, so
+// no partial accumulation needs saving), the permutation is recomputed on
+// resume from the stream state captured at epoch start, and chunked training
+// reuses the same per-sample forward/backward/reduce order as
+// TrainEpoch/TrainEpochParallel at any worker count.
+//
+// Trainer always uses the per-sample training paths; a batch kernel
+// configured on the network (SetBatchKernel) is ignored — the im2col blocks
+// do not checkpoint at batch granularity.
+type Trainer struct {
+	net     *Network
+	opt     Optimizer
+	stream  *rng.Stream
+	samples []Sample
+	epochs  int
+	batch   int
+	workers int
+
+	epoch      int   // completed epochs
+	cursor     int   // sample cursor within the current epoch (batch-aligned)
+	perm       []int // current epoch's shuffle; nil until the epoch starts
+	epochStart rng.State
+	lossSum    float64
+	lossCount  int
+	lastLoss   float64
+	batches    int // lifetime mini-batches run (kill-switch accounting)
+}
+
+// NewTrainer returns a trainer that will run `epochs` epochs of mini-batch
+// SGD over samples, shuffled per epoch from stream, exactly as
+// net.FitParallel(samples, epochs, batch, workers, opt, stream) would.
+func NewTrainer(net *Network, opt Optimizer, stream *rng.Stream, samples []Sample, epochs, batch, workers int) *Trainer {
+	if batch <= 0 {
+		panic("cnn: non-positive batch size")
+	}
+	return &Trainer{net: net, opt: opt, stream: stream, samples: samples,
+		epochs: epochs, batch: batch, workers: workers}
+}
+
+// Net returns the network under training.
+func (t *Trainer) Net() *Network { return t.net }
+
+// Done reports whether every epoch has completed.
+func (t *Trainer) Done() bool { return t.epoch >= t.epochs || len(t.samples) == 0 }
+
+// EpochsCompleted returns the number of fully trained epochs.
+func (t *Trainer) EpochsCompleted() int { return t.epoch }
+
+// BatchesRun returns the lifetime mini-batch count, checkpoints included.
+func (t *Trainer) BatchesRun() int { return t.batches }
+
+// LastLoss returns the mean training loss of the most recently completed
+// epoch — after the final epoch, the value Fit would have returned.
+func (t *Trainer) LastLoss() float64 { return t.lastLoss }
+
+// beginEpoch records the stream position (so resume can recompute the
+// shuffle) and draws the epoch's permutation.
+func (t *Trainer) beginEpoch() {
+	t.epochStart = t.stream.State()
+	t.perm = t.stream.Perm(len(t.samples))
+	t.cursor = 0
+	t.lossSum = 0
+	t.lossCount = 0
+	t.net.ZeroGrads()
+}
+
+// Step trains up to maxBatches mini-batches, crossing epoch boundaries as
+// needed, and returns the number actually run (0 when Done). Calling
+// Step(k) repeatedly until Done is bit-identical to one Fit call.
+func (t *Trainer) Step(maxBatches int) int {
+	ran := 0
+	for ran < maxBatches && !t.Done() {
+		if t.perm == nil {
+			t.beginEpoch()
+		}
+		want := maxBatches - ran
+		end := t.cursor + want*t.batch
+		if end > len(t.perm) {
+			end = len(t.perm)
+		}
+		chunk := t.perm[t.cursor:end]
+		ran += (len(chunk) + t.batch - 1) / t.batch
+		t.trainChunk(chunk)
+		t.cursor = end
+		if t.cursor == len(t.perm) {
+			if t.lossCount > 0 {
+				t.lastLoss = t.lossSum / float64(t.lossCount)
+			}
+			t.net.observeEpoch(t.lastLoss)
+			t.epoch++
+			t.perm = nil
+			t.cursor = 0
+		}
+	}
+	return ran
+}
+
+// trainChunk trains one batch-aligned slice of the epoch's permutation,
+// accumulating the loss total. Gradients are zero on entry and on exit
+// (batch boundaries), which is what makes the cursor checkpointable.
+func (t *Trainer) trainChunk(chunk []int) {
+	t.batches += (len(chunk) + t.batch - 1) / t.batch
+	if t.workers != 1 {
+		total, count, ok := t.net.trainChunkParallel(t.samples, chunk, t.batch, t.workers, func(bsz int) {
+			t.opt.StepNetwork(t.net, bsz)
+			t.net.ZeroGrads()
+		})
+		if ok {
+			t.lossSum += total
+			t.lossCount += count
+			return
+		}
+	}
+	inBatch := 0
+	for _, idx := range chunk {
+		s := t.samples[idx]
+		logits := t.net.Forward(s.Input)
+		loss, grad := CrossEntropy(logits, s.Label)
+		t.lossSum += loss
+		t.lossCount++
+		t.net.Backward(grad)
+		inBatch++
+		if inBatch == t.batch {
+			t.opt.StepNetwork(t.net, inBatch)
+			t.net.ZeroGrads()
+			inBatch = 0
+		}
+	}
+	if inBatch > 0 {
+		t.opt.StepNetwork(t.net, inBatch)
+		t.net.ZeroGrads()
+	}
+}
+
+// trainerBlob is the gob wire format of the training cursor.
+type trainerBlob struct {
+	Version    int
+	Epochs     int
+	Batch      int
+	NSamples   int
+	Epoch      int
+	Cursor     int
+	Started    bool // whether the current epoch's shuffle has been drawn
+	LossSum    float64
+	LossCount  int
+	LastLoss   float64
+	Batches    int
+	EpochStart rng.State
+}
+
+// trainerCheckpoint bundles the cursor with the network/optimizer/stream
+// blob in one gob value so one encoder/decoder pair handles the file.
+type trainerCheckpoint struct {
+	Version int
+	Trainer trainerBlob
+	Net     *netBlob
+}
+
+// Save checkpoints the trainer: network weights, optimizer state, stream
+// position, and the epoch/sample cursor. The sample data itself is not
+// serialized — datasets are regenerated deterministically from their seed —
+// so ResumeTrainer takes the samples as an argument and validates the count.
+func (t *Trainer) Save(w io.Writer) error {
+	if t.perm != nil && t.cursor%t.batch != 0 && t.cursor != len(t.perm) {
+		return fmt.Errorf("cnn: trainer cursor %d not at a batch boundary", t.cursor)
+	}
+	nb, err := t.net.blob(t.opt)
+	if err != nil {
+		return err
+	}
+	nb.Streams = []rng.State{t.stream.State()}
+	ck := trainerCheckpoint{
+		Version: blobVersion,
+		Trainer: trainerBlob{
+			Version: blobVersion, Epochs: t.epochs, Batch: t.batch, NSamples: len(t.samples),
+			Epoch: t.epoch, Cursor: t.cursor, Started: t.perm != nil,
+			LossSum: t.lossSum, LossCount: t.lossCount, LastLoss: t.lastLoss,
+			Batches: t.batches, EpochStart: t.epochStart,
+		},
+		Net: nb,
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// ResumeTrainer rebuilds a trainer from a checkpoint written by Save. The
+// caller supplies the (deterministically regenerated) samples and the worker
+// count — worker count never changes results, so a run may resume with a
+// different one. Continuing the returned trainer to completion yields
+// weights bit-identical to the uninterrupted run.
+func ResumeTrainer(r io.Reader, samples []Sample, workers int) (*Trainer, error) {
+	var ck trainerCheckpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("cnn: decoding trainer checkpoint: %w", err)
+	}
+	tb := ck.Trainer
+	if tb.Version < 1 || tb.Version > blobVersion {
+		return nil, fmt.Errorf("cnn: unsupported trainer checkpoint version %d", tb.Version)
+	}
+	if tb.NSamples != len(samples) {
+		return nil, fmt.Errorf("cnn: checkpoint trained on %d samples, caller supplied %d", tb.NSamples, len(samples))
+	}
+	if tb.Batch <= 0 || tb.Epochs < 0 || tb.Epoch < 0 || tb.Cursor < 0 || tb.Cursor > tb.NSamples {
+		return nil, fmt.Errorf("cnn: trainer checkpoint cursor out of range (epoch=%d cursor=%d batch=%d)", tb.Epoch, tb.Cursor, tb.Batch)
+	}
+	if ck.Net == nil {
+		return nil, fmt.Errorf("cnn: trainer checkpoint has no network blob")
+	}
+	net, blob, err := decodeNetBlob(ck.Net)
+	if err != nil {
+		return nil, err
+	}
+	if blob.Opt == nil || len(blob.Streams) != 1 {
+		return nil, fmt.Errorf("cnn: trainer checkpoint missing optimizer or stream state")
+	}
+	opt, err := restoreOptimizer(net, blob.Opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		net: net, opt: opt, stream: rng.FromState(blob.Streams[0]), samples: samples,
+		epochs: tb.Epochs, batch: tb.Batch, workers: workers,
+		epoch: tb.Epoch, cursor: tb.Cursor,
+		lossSum: tb.LossSum, lossCount: tb.LossCount, lastLoss: tb.LastLoss,
+		batches: tb.Batches, epochStart: tb.EpochStart,
+	}
+	if tb.Started {
+		// Recompute the in-flight epoch's shuffle from the stream position
+		// recorded at epoch start; the main stream already sits after the
+		// draw, so this replays no state.
+		t.perm = rng.FromState(tb.EpochStart).Perm(len(samples))
+		if tb.Cursor > len(t.perm) {
+			return nil, fmt.Errorf("cnn: trainer checkpoint cursor %d beyond epoch length %d", tb.Cursor, len(t.perm))
+		}
+	}
+	return t, nil
+}

@@ -29,6 +29,22 @@ func FuzzLoad(f *testing.F) {
 		flipped[len(flipped)/3] ^= 0xff
 		f.Add(flipped)
 	}
+	// A v1 training blob (optimizer state + stream positions) and a mutation
+	// of it: the training-state decode paths must be panic-free too.
+	opt := NewSGD(0.05, 0.9)
+	samples := fuzzQuantSamples()[:8]
+	net.Fit(samples[:6], 1, 2, opt, rng.New(5).Split("fit"))
+	var tbuf bytes.Buffer
+	if err := net.SaveTraining(&tbuf, opt, rng.New(5)); err != nil {
+		f.Fatal(err)
+	}
+	training := tbuf.Bytes()
+	f.Add(training)
+	if len(training) > 10 {
+		mangled := append([]byte(nil), training...)
+		mangled[2*len(mangled)/3] ^= 0xff
+		f.Add(mangled)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := Load(bytes.NewReader(data))
 		if err != nil {

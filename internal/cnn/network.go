@@ -306,6 +306,22 @@ func (n *Network) ResetParallelState() { n.slots, n.bslots = nil, nil }
 // nothing, when the stack cannot shadow or the effective worker count is 1;
 // the caller should then run its serial path.
 func (n *Network) TrainEpochParallelFunc(samples []Sample, perm []int, batch, workers int, step func(bsz int)) (loss float64, ok bool) {
+	total, count, ok := n.trainChunkParallel(samples, perm, batch, workers, step)
+	if !ok {
+		return 0, false
+	}
+	if count == 0 {
+		return 0, true
+	}
+	return total / float64(count), true
+}
+
+// trainChunkParallel is TrainEpochParallelFunc returning the raw loss total
+// and sample count instead of their quotient. The resumable Trainer
+// (checkpoint.go) accumulates totals across chunks of an epoch, so it needs
+// the exact sum — recovering it as mean×count would reintroduce a float
+// rounding step and break the bit-identity contract with TrainEpoch.
+func (n *Network) trainChunkParallel(samples []Sample, perm []int, batch, workers int, step func(bsz int)) (total float64, count int, ok bool) {
 	if batch <= 0 {
 		panic("cnn: non-positive batch size")
 	}
@@ -316,19 +332,17 @@ func (n *Network) TrainEpochParallelFunc(samples []Sample, perm []int, batch, wo
 		workers = batch
 	}
 	if workers == 1 {
-		return 0, false
+		return 0, 0, false
 	}
 	for len(n.slots) < batch {
 		sn := n.shadowNet()
 		if sn == nil {
 			// A layer without shadow support.
-			return 0, false
+			return 0, 0, false
 		}
 		n.slots = append(n.slots, sn)
 	}
 	logits := make([]*tensor.Tensor, batch)
-	total := 0.0
-	count := 0
 	for start := 0; start < len(perm); start += batch {
 		end := start + batch
 		if end > len(perm) {
@@ -361,10 +375,7 @@ func (n *Network) TrainEpochParallelFunc(samples []Sample, perm []int, batch, wo
 		}
 		step(bsz)
 	}
-	if count == 0 {
-		return 0, true
-	}
-	return total / float64(count), true
+	return total, count, true
 }
 
 // TrainEpochParallel is TrainEpoch with each mini-batch's forward passes

@@ -49,6 +49,14 @@ type Executor struct {
 	// Stats accumulates delivery outcomes across Forward calls while lossy
 	// execution is active.
 	Stats DeliveryStats
+	// ComputeFaults and ComputeTick (with Assign set) extend brownouts from
+	// the link layer to compute: a site whose node is browned out at
+	// ComputeTick behaves exactly like a dead node for that pass — its value
+	// is zero and never appears on the network. The caller advances
+	// ComputeTick per pass (the harvest runtime uses its own tick counter,
+	// distinct from the fault model's link-attempt clock).
+	ComputeFaults *wsn.LinkFaultModel
+	ComputeTick   uint64
 	// values[sid] is a view into arena holding the site's output vector;
 	// both are scratch reused across Forward calls.
 	values [][]float64
@@ -104,10 +112,13 @@ func (e *Executor) siteDead(sid int) bool {
 	if e.DeadSites[sid] {
 		return true
 	}
-	if e.Assign == nil || len(e.DeadNodes) == 0 {
+	if e.Assign == nil {
 		return false
 	}
-	return e.DeadNodes[e.Assign.NodeOf[sid]]
+	if len(e.DeadNodes) > 0 && e.DeadNodes[e.Assign.NodeOf[sid]] {
+		return true
+	}
+	return e.ComputeFaults != nil && e.ComputeFaults.BrownedOut(e.Assign.NodeOf[sid], e.ComputeTick)
 }
 
 // NewExecutor returns an executor for g with shared weights.

@@ -383,6 +383,16 @@ func (m *Model) Evaluate(samples []cnn.Sample) float64 { return m.Net.Evaluate(s
 // value arena) is cached on the model and reused across calls;
 // EnableLocalUpdate invalidates it.
 func (m *Model) ForwardDistributed(input *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.DistributedExecutor().Forward(input)
+}
+
+// DistributedExecutor returns the model's cached distributed executor,
+// creating it on first use. Callers that need fault-injected passes — dead
+// nodes, lossy links, or the harvest runtime's compute brownouts
+// (ComputeFaults/ComputeTick) — configure the returned executor directly;
+// ForwardDistributed then runs under that configuration. The cache is
+// invalidated by EnableLocalUpdate, which discards any configuration.
+func (m *Model) DistributedExecutor() *Executor {
 	if m.exec == nil {
 		ex := NewExecutor(m.Graph)
 		if m.localUpdate {
@@ -397,7 +407,7 @@ func (m *Model) ForwardDistributed(input *tensor.Tensor) (*tensor.Tensor, error)
 		}
 		m.exec = ex
 	}
-	return m.exec.Forward(input)
+	return m.exec
 }
 
 // CostPerSample charges m.WSN with one forward+backward pass and returns

@@ -32,6 +32,38 @@ func New(seed uint64) *Stream {
 	return &Stream{state: seed}
 }
 
+// State is an exact, serializable snapshot of a Stream's position: the
+// SplitMix64 counter plus the Box-Muller spare cache. All fields are exported
+// so a State round-trips through encoding/gob unchanged — it is the unit the
+// checkpointed-training formats persist so a resumed run draws exactly the
+// variates an uninterrupted run would have drawn.
+type State struct {
+	PRNG    uint64
+	Spare   float64
+	SpareOK bool
+}
+
+// State snapshots the stream's position. Restoring it with SetState (or
+// FromState) reproduces the stream's future output exactly.
+func (s *Stream) State() State {
+	return State{PRNG: s.state, Spare: s.spare, SpareOK: s.spareOK}
+}
+
+// SetState rewinds (or fast-forwards) the stream to a snapshot taken with
+// State.
+func (s *Stream) SetState(st State) {
+	s.state = st.PRNG
+	s.spare = st.Spare
+	s.spareOK = st.SpareOK
+}
+
+// FromState returns a new stream positioned at st.
+func FromState(st State) *Stream {
+	s := &Stream{}
+	s.SetState(st)
+	return s
+}
+
 // golden is the SplitMix64 increment (odd, close to 2^64/phi).
 const golden = 0x9e3779b97f4a7c15
 

@@ -122,6 +122,27 @@ func (m *LinkFaultModel) brownedOut(node int, tick uint64) bool {
 	return false
 }
 
+// BrownedOut reports whether node is inside a brownout window at tick.
+// Callers with their own clock — the intermittent-compute runtime asks about
+// *compute* ticks, not link-attempt ticks — use this to make a node's outages
+// visible beyond the Attempt path.
+func (m *LinkFaultModel) BrownedOut(node int, tick uint64) bool {
+	return m.byNode != nil && m.brownedOut(node, tick)
+}
+
+// AddBrownout appends a brownout window after construction. The harvest
+// runtime discovers windows by simulating each node's capacitor and then
+// registers them here so the communication and compute layers agree on when
+// a node is dark. Windows with End <= Start are inert (the half-open
+// interval [Start, End) is empty) but tolerated.
+func (m *LinkFaultModel) AddBrownout(b Brownout) {
+	m.cfg.Brownouts = append(m.cfg.Brownouts, b)
+	if m.byNode == nil {
+		m.byNode = make(map[int][]Brownout)
+	}
+	m.byNode[b.Node] = append(m.byNode[b.Node], b)
+}
+
 // Attempt simulates one link-level transmission from→to, advancing the
 // model clock and the link's loss process, and reports whether the frame
 // arrived. Brownouts fail the attempt without consuming a loss draw, so a

@@ -292,3 +292,71 @@ func TestNetworkIDUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// TestBrownoutWindowEdges pins the half-open [Start, End) semantics at its
+// edges: an empty window (End == Start) never fires, adjacent windows cover
+// a contiguous outage with no gap and no double-counted boundary tick, and
+// End itself is always powered.
+func TestBrownoutWindowEdges(t *testing.T) {
+	m := NewLinkFaultModel(FaultConfig{
+		Seed: 3,
+		Brownouts: []Brownout{
+			{Node: 0, Start: 5, End: 5},   // empty: must never fire
+			{Node: 1, Start: 10, End: 15}, // adjacent pair: contiguous [10, 20)
+			{Node: 1, Start: 15, End: 20},
+		},
+	})
+	for tick := uint64(0); tick < 30; tick++ {
+		if m.BrownedOut(0, tick) {
+			t.Fatalf("empty window fired at tick %d", tick)
+		}
+		want := tick >= 10 && tick < 20
+		if got := m.BrownedOut(1, tick); got != want {
+			t.Fatalf("adjacent windows: BrownedOut(1, %d) = %v, want %v", tick, got, want)
+		}
+	}
+
+	// The same edges drive Attempt: with DropProb 0, only ticks in [10, 20)
+	// fail, and the boundary ticks 9 and 20 deliver.
+	for tick := uint64(0); tick < 30; tick++ {
+		got := m.Attempt(1, 2)
+		want := tick < 10 || tick >= 20
+		if got != want {
+			t.Fatalf("Attempt at tick %d: delivered=%v, want %v", tick, got, want)
+		}
+	}
+}
+
+// TestAddBrownout checks windows registered after construction behave
+// identically to configured ones — the path the harvest runtime uses — and
+// that draw preservation holds: an added window fails attempts without
+// consuming loss draws.
+func TestAddBrownout(t *testing.T) {
+	ref := NewLinkFaultModel(FaultConfig{Seed: 17, DropProb: 0.5})
+	m := NewLinkFaultModel(FaultConfig{Seed: 17, DropProb: 0.5})
+	m.AddBrownout(Brownout{Node: 4, Start: 0, End: 7})
+	m.AddBrownout(Brownout{Node: 4, Start: 9, End: 9}) // empty: inert
+
+	if !m.BrownedOut(4, 6) || m.BrownedOut(4, 7) || m.BrownedOut(4, 9) {
+		t.Fatal("AddBrownout window boundaries wrong")
+	}
+	if m.BrownedOut(5, 3) {
+		t.Fatal("AddBrownout leaked onto another node")
+	}
+
+	var refOut, out []bool
+	for i := 0; i < 60; i++ {
+		refOut = append(refOut, ref.Attempt(4, 5))
+		out = append(out, m.Attempt(4, 5))
+	}
+	for i := 0; i < 7; i++ {
+		if out[i] {
+			t.Fatalf("attempt %d inside added window delivered", i)
+		}
+	}
+	for i := 7; i < 60; i++ {
+		if out[i] != refOut[i-7] {
+			t.Fatalf("attempt %d after added window does not resume the loss process", i)
+		}
+	}
+}

@@ -52,6 +52,14 @@ type RunConfig struct {
 	// 0 keeps each experiment's default; experiments with paper-fixed
 	// topologies ignore it. Node counts at or above wsn.AutoShardThreshold
 	// run on the sharded routing core (e16 always does).
+	//
+	// Ownership rule: an experiment honours Nodes only if its topology is
+	// free-scale — sized by the scenario, not pinned by the paper. The
+	// paper-fixed deployments (e2's 5×10 lounge, e7's corridor, e17's 8×8
+	// harvest field, ...) silently ignore it by design, because resizing
+	// them would break the claim the experiment reproduces. Use the
+	// zeiotbench comma-list form (-e e16,e7 -nodes 3000,0) to scope an
+	// override to the experiments that own one.
 	Nodes int
 	// Quantize additionally evaluates trained CNNs through int8 fixed-point
 	// inference (per-tensor symmetric, calibrated activation scales, int32
@@ -59,6 +67,14 @@ type RunConfig struct {
 	// quantized accuracy rows to their summaries. Float results are
 	// untouched: summaries gain rows, existing rows keep their bytes.
 	Quantize bool
+	// Harvest scales and shapes the intermittent-power runtime (E17's
+	// harvest-driven training and brownout inference). The zero value keeps
+	// E17's paper-scale defaults and leaves every other experiment untouched.
+	Harvest HarvestConfig
+	// Checkpoint drives E17's kill/resume flow: a simulated power failure
+	// after N training batches, and resuming from the resulting checkpoint
+	// file to a byte-identical result. The zero value disables both.
+	Checkpoint CheckpointConfig
 	// Recorder receives the run's observability stream (training curves,
 	// cache hit rates, per-node radio scalars, stage timings). Nil disables
 	// observation entirely — the instrumented paths cost one nil check.
@@ -167,6 +183,22 @@ func (c *RunConfig) Validate() error {
 	if c.Nodes < 0 {
 		return fmt.Errorf("zeiot: RunConfig.Nodes %d is negative (0 keeps the experiment default)", c.Nodes)
 	}
+	if c.Harvest.PowerScale < 0 {
+		return fmt.Errorf("zeiot: RunConfig.Harvest.PowerScale %g is negative (0 or 1 keeps the default harvest powers)", c.Harvest.PowerScale)
+	}
+	if !validHarvestProfile(c.Harvest.Profile) {
+		return fmt.Errorf("zeiot: RunConfig.Harvest.Profile %q unknown (want rf, solar, thermal, or mixed)", c.Harvest.Profile)
+	}
+	if c.Checkpoint.KillAfterBatches < 0 {
+		return fmt.Errorf("zeiot: RunConfig.Checkpoint.KillAfterBatches %d is negative (0 disables the simulated power failure)", c.Checkpoint.KillAfterBatches)
+	}
+	if c.Checkpoint.enabled() && c.Checkpoint.Path == "" {
+		return fmt.Errorf("zeiot: RunConfig.Checkpoint requests kill/resume (killafter %d, resume %v) but Path is empty",
+			c.Checkpoint.KillAfterBatches, c.Checkpoint.Resume)
+	}
+	if !c.Checkpoint.enabled() && c.Checkpoint.Path != "" {
+		return fmt.Errorf("zeiot: RunConfig.Checkpoint.Path %q set but neither KillAfterBatches nor Resume is; set one or clear the path", c.Checkpoint.Path)
+	}
 	l := c.Loss
 	if l.DropProb < 0 || l.DropProb > 1 {
 		return fmt.Errorf("zeiot: RunConfig.Loss.DropProb %g outside [0, 1]", l.DropProb)
@@ -270,6 +302,12 @@ func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
 		if cfg.Loss.Enabled {
 			rec.Gauge("config_loss_drop_prob", cfg.Loss.DropProb)
 			rec.Gauge("config_loss_max_retries", float64(cfg.Loss.MaxRetries))
+		}
+		if s := cfg.Harvest.PowerScale; s != 0 && s != 1 {
+			rec.Gauge("config_harvest_power_scale", s)
+		}
+		if k := cfg.Checkpoint.KillAfterBatches; k > 0 {
+			rec.Gauge("config_checkpoint_kill_after", float64(k))
 		}
 	}
 	now := time.Now()
