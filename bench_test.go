@@ -14,6 +14,7 @@ import (
 	"zeiot/internal/geom"
 	"zeiot/internal/mac"
 	"zeiot/internal/microdeep"
+	"zeiot/internal/modality"
 	"zeiot/internal/rng"
 	"zeiot/internal/tensor"
 	"zeiot/internal/wsn"
@@ -410,6 +411,32 @@ func BenchmarkE14Intrusion(b *testing.B)     { benchExperiment(b, "e14") }
 func BenchmarkE15Vitals(b *testing.B)        { benchExperiment(b, "e15") }
 
 func BenchmarkE17Intermittent(b *testing.B) { benchExperiment(b, "e17") }
+func BenchmarkE18CrossModal(b *testing.B)   { benchExperiment(b, "e18") }
+
+// BenchmarkModalityGenerate measures raw sample throughput of every
+// registered modality adapter through the unified Source interface — the
+// PR 9 per-modality samples/sec record. Generation is pure compute over a
+// named rng stream, so this is the dataset-side cost of a matrix row.
+func BenchmarkModalityGenerate(b *testing.B) {
+	const n = 32
+	for _, name := range modality.Names() {
+		b.Run(name, func(b *testing.B) {
+			src, err := modality.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.Generate(n, rng.New(1).Split("bench")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "samples_per_sec")
+		})
+	}
+}
 
 // BenchmarkTrainerCheckpoint measures the intermittent runtime's insurance
 // premium: one mid-training Save plus a full ResumeTrainer round-trip of

@@ -105,3 +105,26 @@ fi
 # experiments that own a free-scale deployment (e16 honours 3000, e7's
 # paper-fixed link budget ignores its 0 entry and stays golden).
 go run ./cmd/zeiotbench -e e16,e7 -nodes 3000,0 -samples 0.05,1 -seed 1 -json > /dev/null
+
+# Cross-modal matrix smoke (PR 9): e18 at seed 1 must emit exactly the
+# checked-in golden JSON, serially and under parallel training — the
+# per-modality rng streams are derived by name, so any modality adapter
+# drifting breaks this diff.
+go run ./cmd/zeiotbench -e e18 -seed 1 -json > "$smoke"
+diff -u testdata/e18_seed1.golden.json "$smoke"
+go run ./cmd/zeiotbench -e e18 -seed 1 -trainworkers 4 -json > "$smoke"
+diff -u testdata/e18_seed1.golden.json "$smoke"
+
+# The -modalities filter changes which matrix rows appear, never the values
+# of the rows that remain: the filtered run's gait row must match the full
+# run's gait row byte for byte.
+go run ./cmd/zeiotbench -e e18 -seed 1 -modalities gait,gait+vitals -json > "$m1"
+grep '"acc_gait"' "$m1" > "$smoke"
+grep '"acc_gait"' testdata/e18_seed1.golden.json | diff -u "$smoke" -
+grep -q '"acc_gait_vitals"' "$m1"
+
+# Unknown modality names must be an explicit error, not an empty matrix.
+if go run ./cmd/zeiotbench -e e18 -modalities sonar > /dev/null 2>&1; then
+    echo "zeiotbench accepted an unknown -modalities name" >&2
+    exit 1
+fi

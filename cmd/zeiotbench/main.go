@@ -16,6 +16,7 @@
 //	zeiotbench -e e17 -harvest 2 -harvestprofile solar  # intermittent-power runtime knobs
 //	zeiotbench -e e17 -checkpoint f.ck -killafter 200   # simulate a power failure (exits nonzero)
 //	zeiotbench -e e17 -checkpoint f.ck -resume          # resume; output matches an uninterrupted run
+//	zeiotbench -e e18 -modalities gait,har,gait+vitals  # restrict the cross-modal matrix rows
 //	zeiotbench -timings        # keep per-stage wall times in the output
 //	zeiotbench -metrics        # collect observability metrics; keep them in -json output
 //	zeiotbench -metrics-out m.prom  # also export them as Prometheus text
@@ -100,6 +101,7 @@ func run() int {
 		nodesF   = flag.String("nodes", "0", "node count for free-scale experiments (e16; 0 = experiment default)")
 		harvF    = flag.String("harvest", "0", "harvest power scale for the intermittent runtime (e17; 0 or 1 = paper defaults)")
 		harvP    = flag.String("harvestprofile", "", "harvest trace profile: rf, solar, thermal, or mixed (e17; default mixed)")
+		modsF    = flag.String("modalities", "", "comma-separated modality names for the cross-modal matrix (e18; empty = every registered modality). Commas pick modalities here, not per--e values")
 		ckptF    = flag.String("checkpoint", "", "checkpoint file for the e17 kill/resume flow")
 		killF    = flag.Int("killafter", 0, "simulate a power failure after N training batches: write -checkpoint and exit nonzero (e17)")
 		resumeF  = flag.Bool("resume", false, "resume e17 from the -checkpoint file instead of starting fresh")
@@ -220,14 +222,20 @@ func run() int {
 		return fail(fmt.Errorf("-killafter/-resume require -checkpoint <path>"))
 	}
 	ckpt := zeiot.CheckpointConfig{Path: *ckptF, KillAfterBatches: *killF, Resume: *resumeF}
-	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals, ndVals, hvVals, hpVals, ckpt)
+	var mods []string
+	if *modsF != "" {
+		for _, m := range strings.Split(*modsF, ",") {
+			mods = append(mods, strings.TrimSpace(m))
+		}
+	}
+	return runSelected(selected, *seed, *parallel, *jsonOut, *timings, *metrics, *metOut, twVals, scVals, rpVals, lossVals, lbVals, lrVals, bkVals, qVals, ndVals, hvVals, hpVals, mods, ckpt)
 }
 
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings, metrics bool, metricsOut string,
 	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool, ndVals []int,
-	hvVals []float64, hpVals []string, ckpt zeiot.CheckpointConfig) int {
+	hvVals []float64, hpVals []string, mods []string, ckpt zeiot.CheckpointConfig) int {
 
 	// Loss options explicitly passed while every run has -loss 0 would be
 	// silently dead; surface them so RunConfig.Validate rejects the combination.
@@ -268,6 +276,7 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 		rc.Nodes = ndVals[i]
 		rc.Harvest = zeiot.HarvestConfig{PowerScale: hvVals[i], Profile: hpVals[i]}
 		rc.Checkpoint = ckpt
+		rc.Modalities = mods
 		if lossVals[i] > 0 {
 			lc := zeiot.DefaultLossConfig()
 			lc.Enabled = true

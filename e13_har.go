@@ -7,6 +7,7 @@ import (
 	"zeiot/internal/cnn"
 	"zeiot/internal/har"
 	"zeiot/internal/ml"
+	"zeiot/internal/modality"
 	"zeiot/internal/rng"
 )
 
@@ -24,7 +25,10 @@ func RunE13AthleteHAR(ctx context.Context, rc *RunConfig) (*Result, error) {
 	}
 	seed := h.cfg.Seed
 	root := rng.New(seed)
-	cfg := har.DefaultConfig()
+	// The HAR modality adapter; its campaign path reproduces the historical
+	// har.GenerateDataset feature matrices byte-for-byte.
+	mod := modality.NewHAR()
+	cfg := mod.Cfg
 	evalWindows := h.cfg.scaled(12)
 	recognizer, err := har.Train(cfg, h.cfg.scaled(16), root.Split("train"))
 	if err != nil {
@@ -59,7 +63,7 @@ func RunE13AthleteHAR(ctx context.Context, rc *RunConfig) (*Result, error) {
 	)
 
 	// Ablation: classifier family over the same chatter-rate features.
-	abl, err := har.GenerateDataset(cfg, h.cfg.scaled(20), root.Split("ablation"))
+	abl, err := mod.Campaign(h.cfg.scaled(20), root.Split("ablation"))
 	if err != nil {
 		return nil, err
 	}
@@ -91,15 +95,15 @@ func RunE13AthleteHAR(ctx context.Context, rc *RunConfig) (*Result, error) {
 	// Everything here draws from fresh named rng splits strictly after the
 	// rows above, so default-config outputs keep their bytes.
 	if h.cfg.Quantize {
-		qtrainD, err := har.GenerateDataset(cfg, h.cfg.scaled(24), root.Split("quant-train"))
+		qtrainD, err := mod.Campaign(h.cfg.scaled(24), root.Split("quant-train"))
 		if err != nil {
 			return nil, err
 		}
-		qtestD, err := har.GenerateDataset(cfg, h.cfg.scaled(10), root.Split("quant-test"))
+		qtestD, err := mod.Campaign(h.cfg.scaled(10), root.Split("quant-test"))
 		if err != nil {
 			return nil, err
 		}
-		qtrain, qtest := featureSamples(qtrainD), featureSamples(qtestD)
+		qtrain, qtest := modality.FromDataset(qtrainD), modality.FromDataset(qtestD)
 		nf := len(qtrainD.X[0])
 		sQ := root.Split("quant-net")
 		net := cnn.NewNetwork([]int{nf},

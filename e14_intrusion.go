@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"zeiot/internal/cnn"
 	"zeiot/internal/intrusion"
+	"zeiot/internal/modality"
 	"zeiot/internal/rng"
 )
 
@@ -20,14 +22,44 @@ func RunE14Intrusion(ctx context.Context, rc *RunConfig) (*Result, error) {
 	}
 	seed := h.cfg.Seed
 	root := rng.New(seed)
-	cfg := intrusion.DefaultConfig()
-	cfg.Seed = seed
+	// The intrusion modality adapter; its campaign path reproduces the
+	// historical intrusion.GenerateDataset draws byte-for-byte, and the
+	// inlined train/eval below keeps TrainAndEvaluate's stream names
+	// ("data"/"net"/"fit") while gaining the harness's parallel training,
+	// batch-kernel, and recorder support (FitParallel is bit-identical to
+	// the serial Fit the package helper ran).
+	mod := modality.NewIntrusion()
+	cfg := mod.Cfg
 	mapsPerClass := h.cfg.scaled(60)
-	acc, recall, err := intrusion.TrainAndEvaluate(cfg, mapsPerClass, 8, root)
-	if err != nil {
-		return nil, err
-	}
+	samples := mod.Campaign(mapsPerClass, root.Split("data"))
+	cut := len(samples) * 3 / 4
+	train, test := samples[:cut], samples[cut:]
+	h.mark(StageDataset)
+
+	net := intrusion.NewDetector(cfg, root.Split("net"))
+	net.SetBatchKernel(h.cfg.BatchKernel)
+	net.SetRecorder(h.cfg.Recorder, "intrusion_", test)
+	net.FitParallel(train, 8, 16, h.cfg.workers(), cnn.NewSGD(0.02, 0.9), root.Split("fit"))
 	h.mark(StageTrain)
+
+	correct := 0
+	hits := make([]int, intrusion.NumClasses())
+	totals := make([]int, intrusion.NumClasses())
+	for _, s := range test {
+		got := net.Predict(s.Input)
+		totals[s.Label]++
+		if got == s.Label {
+			correct++
+			hits[s.Label]++
+		}
+	}
+	recall := make([]float64, intrusion.NumClasses())
+	for c := range recall {
+		if totals[c] > 0 {
+			recall[c] = float64(hits[c]) / float64(totals[c])
+		}
+	}
+	acc := float64(correct) / float64(len(test))
 	res := &Result{
 		ID:         "e14",
 		Title:      "Animal intrusion detection: CNN on range-time maps",

@@ -1,0 +1,107 @@
+package zeiot_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"zeiot"
+)
+
+// runE18 runs the cross-modal matrix on a modality subset at reduced sample
+// scale (the full 9-modality matrix trains 9 CNNs; tests pick their rows).
+func runE18(t *testing.T, modalities []string, workers int) *zeiot.Result {
+	t.Helper()
+	rc := &zeiot.RunConfig{
+		Seed:         1,
+		SampleScale:  0.5,
+		TrainWorkers: workers,
+		Modalities:   modalities,
+	}
+	res, err := zeiot.RunE18CrossModal(context.Background(), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestE18Deterministic runs a three-row slice of the matrix (one image-like
+// modality, one feature vector, one fused pair) serially and with four
+// training workers and requires the Summary maps to match exactly — the
+// matrix's accuracy/latency/energy numbers must not move with the worker
+// count.
+func TestE18Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three CNNs twice")
+	}
+	mods := []string{"gait", "har", "gait+vitals"}
+	a := runE18(t, mods, 1)
+	b := runE18(t, mods, 4)
+	if len(a.Summary) != len(b.Summary) {
+		t.Fatalf("summary sizes differ: %d vs %d", len(a.Summary), len(b.Summary))
+	}
+	for k, va := range a.Summary {
+		vb, ok := b.Summary[k]
+		if !ok {
+			t.Fatalf("summary key %q missing from the 4-worker run", k)
+		}
+		if va != vb {
+			t.Errorf("summary[%q] differs: serial %v, 4 workers %v", k, va, vb)
+		}
+	}
+	if got := a.Summary["fused_pairs"]; got != 1 {
+		t.Errorf("fused_pairs = %v, want 1", got)
+	}
+	for _, k := range []string{"acc_gait", "ops_har", "latency_ms_gait_vitals", "energy_uj_gait"} {
+		if _, ok := a.Summary[k]; !ok {
+			t.Errorf("matrix did not produce summary key %q", k)
+		}
+	}
+}
+
+// TestE18FilterInvariance checks the -modalities contract: per-modality rng
+// streams are derived by name, so filtering changes which rows appear but
+// never the values of the rows that remain. The har row of a {gait, har}
+// run must equal the har row of a {har} run, column for column and summary
+// key for summary key.
+func TestE18FilterInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains CNNs")
+	}
+	full := runE18(t, []string{"gait", "har"}, 1)
+	only := runE18(t, []string{"har"}, 1)
+
+	harRow := func(r *zeiot.Result) []string {
+		for _, row := range r.Rows {
+			if row[0] == "har" {
+				return row
+			}
+		}
+		t.Fatalf("no har row in %v", r.Rows)
+		return nil
+	}
+	fr, or := harRow(full), harRow(only)
+	for i := range fr {
+		if fr[i] != or[i] {
+			t.Errorf("har row column %d differs under filtering: %q vs %q", i, fr[i], or[i])
+		}
+	}
+	for k, v := range only.Summary {
+		if strings.HasPrefix(k, "acc_") || strings.HasPrefix(k, "ops_") {
+			if full.Summary[k] != v {
+				t.Errorf("summary[%q] differs under filtering: %v vs %v", k, full.Summary[k], v)
+			}
+		}
+	}
+}
+
+// TestE18UnknownModality requires Validate to reject modality names the
+// registry does not know, naming the offender.
+func TestE18UnknownModality(t *testing.T) {
+	rc := &zeiot.RunConfig{Seed: 1, Modalities: []string{"gait", "sonar"}}
+	if err := rc.Validate(); err == nil {
+		t.Fatal("Validate accepted unknown modality \"sonar\"")
+	} else if !strings.Contains(err.Error(), "sonar") {
+		t.Errorf("error %q does not name the unknown modality", err)
+	}
+}

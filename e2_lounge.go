@@ -5,8 +5,8 @@ import (
 	"fmt"
 
 	"zeiot/internal/cnn"
-	"zeiot/internal/dataset"
 	"zeiot/internal/microdeep"
+	"zeiot/internal/modality"
 	"zeiot/internal/rng"
 	"zeiot/internal/wsn"
 )
@@ -51,11 +51,14 @@ func RunE2Lounge(ctx context.Context, rc *RunConfig) (*Result, error) {
 	}
 	seed := h.cfg.Seed
 	root := rng.New(seed)
-	cfg := dataset.DefaultLoungeConfig()
-	cfg.Seed = seed
-	cfg.Samples = h.cfg.scaled(e2Samples)
-	cfg.NoiseC = 0.75 // realistic sensor noise keeps accuracies off the ceiling
-	samples, err := dataset.GenerateLounge(cfg)
+	// The lounge modality at experiment grade (0.75 °C sensor noise keeps
+	// accuracies off the ceiling). The campaign stream is a fresh
+	// root-seeded stream — the historical GenerateLounge(cfg.Seed)
+	// derivation.
+	mod := modality.NewLounge()
+	mod.Cfg.Samples = h.cfg.scaled(e2Samples)
+	cfg := mod.Cfg
+	samples, err := mod.Campaign(rng.New(seed))
 	if err != nil {
 		return nil, err
 	}

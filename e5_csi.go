@@ -108,7 +108,7 @@ func RunE5CSILocalization(ctx context.Context, rc *RunConfig) (*Result, error) {
 func sanitizeKey(s string) string {
 	out := make([]rune, 0, len(s))
 	for _, r := range s {
-		if r == '/' || r == ' ' {
+		if r == '/' || r == ' ' || r == '+' {
 			r = '_'
 		}
 		out = append(out, r)

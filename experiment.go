@@ -172,6 +172,7 @@ func Experiments() []Experiment {
 		{ID: "e15", Title: "RF-ECG vital rates from a chest tag array (§III.C use case i, ref [58])", Paper: "qualitative use case — implemented and scored here", Run: RunE15Vitals},
 		{ID: "e16", Title: "Crowd-scale backscatter field on the sharded routing core (§I/§III.C vision)", Paper: "10⁵-device deployments stated as the target scale — simulated here with churn and mobile tags", Run: RunE16Crowd},
 		{ID: "e17", Title: "Intermittent-power runtime: harvest-gated training and brownout inference (§I zero-energy vision)", Paper: "devices compute on harvested µW budgets — implemented as capacitor-gated training with checkpointed, bit-identical resume", Run: RunE17Intermittent},
+		{ID: "e18", Title: "Cross-modal benchmark matrix over the unified modality registry (§III.C one-substrate vision)", Paper: "one zero-energy substrate recognizes many contexts — measured as an accuracy/latency/energy matrix here", Run: RunE18CrossModal},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (e1..e17)", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (e1..e18)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

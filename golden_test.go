@@ -25,11 +25,12 @@ func TestGoldenDefaultConfig(t *testing.T) {
 		{"e1", "e1_seed1.golden.json"},
 		{"e7", "e7_seed1.golden.json"},
 		{"e17", "e17_seed1.golden.json"},
+		{"e18", "e18_seed1.golden.json"},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.id, func(t *testing.T) {
-			if (tc.id == "e1" || tc.id == "e17") && testing.Short() {
+			if tc.id != "e7" && testing.Short() {
 				t.Skip("trains CNNs")
 			}
 			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))

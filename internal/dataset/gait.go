@@ -43,6 +43,10 @@ func DefaultGaitConfig() GaitConfig {
 	}
 }
 
+// minFallFrames is the minimum number of post-onset frames a window must
+// show to be labelled a fall (see Windows and GenerateGaitWindow).
+const minFallFrames = 3
+
 // GaitStream is one recording with per-frame fall ground truth.
 type GaitStream struct {
 	// Frames[f] is the IR image at frame f, shape (Rows, Cols).
@@ -54,74 +58,117 @@ type GaitStream struct {
 	Subject int
 }
 
-// GenerateGaitStreams simulates the recording campaign: a warm body blob
-// crosses the array; in fall streams it collapses mid-passage — dropping to
-// the floor rows and spreading horizontally, the signature the real array
-// sees.
-func GenerateGaitStreams(cfg GaitConfig) ([]GaitStream, error) {
+// GenerateGaitStreamsFrom simulates the recording campaign drawing every
+// variate from the given stream: a warm body blob crosses the array; in
+// fall streams it collapses mid-passage — dropping to the floor rows and
+// spreading horizontally, the signature the real array sees. cfg.Seed is
+// ignored: seeding is the caller's (the experiment harness's) business, so
+// one root seed can derive this stream by name like every other generator.
+func GenerateGaitStreamsFrom(cfg GaitConfig, stream *rng.Stream) ([]GaitStream, error) {
 	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.Streams <= 0 || cfg.Subjects <= 0 {
 		return nil, fmt.Errorf("dataset: invalid gait config %+v", cfg)
 	}
 	if cfg.WindowFrames > cfg.FramesPerStream {
 		return nil, fmt.Errorf("dataset: window %d exceeds stream length %d", cfg.WindowFrames, cfg.FramesPerStream)
 	}
-	stream := rng.New(cfg.Seed)
 	out := make([]GaitStream, 0, cfg.Streams)
 	for si := 0; si < cfg.Streams; si++ {
 		subject := si % cfg.Subjects
 		// Subjects differ in walking speed and body height; the paper
 		// notes walking speed is not uniform across persons.
 		speed := (0.6 + 0.15*float64(subject)) * (0.85 + 0.3*stream.Float64())
-		height := 0.55 + 0.07*float64(subject%3)
-		gs := GaitStream{FallAt: -1, Subject: subject}
+		fallAt := -1
 		if stream.Bool(cfg.FallFraction) {
-			gs.FallAt = cfg.FramesPerStream/3 + stream.Intn(cfg.FramesPerStream/3)
+			fallAt = cfg.FramesPerStream/3 + stream.Intn(cfg.FramesPerStream/3)
 		}
-		// The subject paces back and forth across the array (one passage
-		// takes ~10 frames, matching the paper's 2-second window choice).
-		x := stream.Float64() * float64(cfg.Cols-1)
-		dir := 1.0
-		if stream.Bool(0.5) {
-			dir = -1
-		}
-		for f := 0; f < cfg.FramesPerStream; f++ {
-			img := tensor.New(cfg.Rows, cfg.Cols)
-			bodyY := (1 - height) * float64(cfg.Rows-1)
-			sigmaY, sigmaX := 1.6, 0.9
-			fallen := gs.FallAt >= 0 && f >= gs.FallAt
-			if fallen {
-				// Collapse: centroid drops to the floor and the blob
-				// spreads horizontally over ~3 frames.
-				progress := math.Min(1, float64(f-gs.FallAt)/3)
-				bodyY = bodyY + progress*(float64(cfg.Rows-1)-bodyY)
-				sigmaY = 1.6 - progress*1.0
-				sigmaX = 0.9 + progress*1.8
-			} else {
-				x += speed * dir
-				if x >= float64(cfg.Cols-1) {
-					x = float64(cfg.Cols - 1)
-					dir = -1
-				} else if x <= 0 {
-					x = 0
-					dir = 1
-				}
-				// Gait bounce.
-				bodyY += 0.4 * math.Sin(float64(f)*1.1)
-			}
-			for yy := 0; yy < cfg.Rows; yy++ {
-				for xx := 0; xx < cfg.Cols; xx++ {
-					dy := (float64(yy) - bodyY) / sigmaY
-					dx := (float64(xx) - x) / sigmaX
-					heat := math.Exp(-(dy*dy + dx*dx) / 2)
-					heat += stream.NormMeanStd(0, cfg.NoiseLevel)
-					img.Set(heat, yy, xx)
-				}
-			}
-			gs.Frames = append(gs.Frames, img)
-		}
-		out = append(out, gs)
+		out = append(out, renderGaitStream(cfg, subject, speed, fallAt, cfg.FramesPerStream, stream))
 	}
 	return out, nil
+}
+
+// GenerateGaitStreams simulates the recording campaign seeded by cfg.Seed.
+//
+// Deprecated: GenerateGaitStreams is the one generator that takes its seed
+// through the config struct instead of a harness-owned *rng.Stream. New
+// code should call GenerateGaitStreamsFrom(cfg, stream); this shim is
+// exactly GenerateGaitStreamsFrom(cfg, rng.New(cfg.Seed)).
+func GenerateGaitStreams(cfg GaitConfig) ([]GaitStream, error) {
+	return GenerateGaitStreamsFrom(cfg, rng.New(cfg.Seed))
+}
+
+// renderGaitStream renders one recording of frames frames: the walk
+// kinematics (pacing, bounce) and — when fallAt >= 0 — the collapse, with
+// per-pixel IR noise drawn from stream. The start position and pacing
+// direction draws happen here, after the caller's per-stream draws, so the
+// campaign path keeps its historical draw order exactly.
+func renderGaitStream(cfg GaitConfig, subject int, speed float64, fallAt, frames int, stream *rng.Stream) GaitStream {
+	height := 0.55 + 0.07*float64(subject%3)
+	gs := GaitStream{FallAt: fallAt, Subject: subject}
+	// The subject paces back and forth across the array (one passage
+	// takes ~10 frames, matching the paper's 2-second window choice).
+	x := stream.Float64() * float64(cfg.Cols-1)
+	dir := 1.0
+	if stream.Bool(0.5) {
+		dir = -1
+	}
+	for f := 0; f < frames; f++ {
+		img := tensor.New(cfg.Rows, cfg.Cols)
+		bodyY := (1 - height) * float64(cfg.Rows-1)
+		sigmaY, sigmaX := 1.6, 0.9
+		fallen := gs.FallAt >= 0 && f >= gs.FallAt
+		if fallen {
+			// Collapse: centroid drops to the floor and the blob
+			// spreads horizontally over ~3 frames.
+			progress := math.Min(1, float64(f-gs.FallAt)/3)
+			bodyY = bodyY + progress*(float64(cfg.Rows-1)-bodyY)
+			sigmaY = 1.6 - progress*1.0
+			sigmaX = 0.9 + progress*1.8
+		} else {
+			x += speed * dir
+			if x >= float64(cfg.Cols-1) {
+				x = float64(cfg.Cols - 1)
+				dir = -1
+			} else if x <= 0 {
+				x = 0
+				dir = 1
+			}
+			// Gait bounce.
+			bodyY += 0.4 * math.Sin(float64(f)*1.1)
+		}
+		for yy := 0; yy < cfg.Rows; yy++ {
+			for xx := 0; xx < cfg.Cols; xx++ {
+				dy := (float64(yy) - bodyY) / sigmaY
+				dx := (float64(xx) - x) / sigmaX
+				heat := math.Exp(-(dy*dy + dx*dx) / 2)
+				heat += stream.NormMeanStd(0, cfg.NoiseLevel)
+				img.Set(heat, yy, xx)
+			}
+		}
+		gs.Frames = append(gs.Frames, img)
+	}
+	return gs
+}
+
+// GenerateGaitWindow renders one labelled window directly, without the
+// surrounding recording campaign — the per-sample path the unified modality
+// layer uses. fall=true places the collapse onset uniformly so at least
+// minFallFrames post-onset frames are visible, matching the labelling rule
+// Windows applies to campaign recordings. The returned tensor is shaped
+// (WindowFrames, Rows, Cols).
+func GenerateGaitWindow(cfg GaitConfig, fall bool, stream *rng.Stream) *tensor.Tensor {
+	subject := stream.Intn(cfg.Subjects)
+	speed := (0.6 + 0.15*float64(subject)) * (0.85 + 0.3*stream.Float64())
+	fallAt := -1
+	if fall {
+		fallAt = stream.Intn(cfg.WindowFrames - minFallFrames + 1)
+	}
+	gs := renderGaitStream(cfg, subject, speed, fallAt, cfg.WindowFrames, stream)
+	out := tensor.New(cfg.WindowFrames, cfg.Rows, cfg.Cols)
+	for f := 0; f < cfg.WindowFrames; f++ {
+		dst := out.Data()[f*cfg.Rows*cfg.Cols : (f+1)*cfg.Rows*cfg.Cols]
+		copy(dst, gs.Frames[f].Data())
+	}
+	return out
 }
 
 // Windows cuts every stream into sliding windows of cfg.WindowFrames
@@ -134,7 +181,6 @@ func GenerateGaitStreams(cfg GaitConfig) ([]GaitStream, error) {
 // frames are ambiguous and skipped, as are post-fall windows (the subject
 // lying still is the alarm state, not a walking sample).
 func Windows(cfg GaitConfig, streams []GaitStream) []cnn.Sample {
-	const minFallFrames = 3
 	var out []cnn.Sample
 	for _, gs := range streams {
 		for start := 0; start+cfg.WindowFrames <= len(gs.Frames); start++ {

@@ -134,6 +134,13 @@ func Features(cfg Config, accel []float64) ([]float64, error) {
 	return out, nil
 }
 
+// ClassFeatures draws one window of activity a and returns its chatter-rate
+// feature vector — the per-sample class-conditional path the unified
+// modality layer uses.
+func ClassFeatures(cfg Config, a Activity, stream *rng.Stream) ([]float64, error) {
+	return Features(cfg, waveform(cfg, a, stream))
+}
+
 // GenerateDataset produces windowsPerClass labelled feature vectors per
 // activity.
 func GenerateDataset(cfg Config, windowsPerClass int, stream *rng.Stream) (ml.Dataset, error) {

@@ -1,0 +1,63 @@
+package modality
+
+import (
+	"fmt"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/csi"
+	"zeiot/internal/geom"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// CSILoc adapts the compressed-beamforming localization generator
+// (internal/csi) as a 7-class position modality over 624-angle feature
+// vectors.
+type CSILoc struct {
+	// Room is the simulated scene; Positions the candidate person
+	// positions (one class per position).
+	Room      csi.SceneConfig
+	Positions []geom.Point
+}
+
+// NewCSILoc returns the adapter on the paper's best pattern —
+// walking behaviour with divergent antenna orientations, the ~96% case of
+// ref. [8] — over the seven candidate positions.
+func NewCSILoc() *CSILoc {
+	return &CSILoc{
+		Room:      csi.DefaultRoom(csi.PaperPatterns()[0]),
+		Positions: csi.SevenPositions(),
+	}
+}
+
+// Spec implements Source.
+func (c *CSILoc) Spec() Spec {
+	names := make([]string, len(c.Positions))
+	for i := range c.Positions {
+		names[i] = fmt.Sprintf("pos%d", i)
+	}
+	return Spec{
+		Name:       "csi",
+		Shape:      []int{c.Room.Feedback.NumFeatures()},
+		Classes:    len(c.Positions),
+		ClassNames: names,
+	}
+}
+
+// GenerateClass implements ClassConditional: one channel snapshot with the
+// person at position class, compressed to the beamforming-angle features.
+func (c *CSILoc) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	if class < 0 || class >= len(c.Positions) {
+		return nil, fmt.Errorf("modality: csi position %d outside [0, %d)", class, len(c.Positions))
+	}
+	feats, err := c.Room.Feedback.Features(c.Room.Snapshot(c.Positions[class], stream))
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(feats, len(feats)), nil
+}
+
+// Generate implements Source.
+func (c *CSILoc) Generate(n int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(c, n, stream)
+}

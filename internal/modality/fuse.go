@@ -1,0 +1,71 @@
+package modality
+
+import (
+	"fmt"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Fused aligns two class-conditional sources on a shared event timeline:
+// every sample draws one event class, and both sources render their view of
+// that same event from sub-streams of the sample's stream. The sample is
+// the concatenation of both views, flattened — the multi-channel input a
+// fusion classifier trains on.
+type Fused struct {
+	A, B ClassConditional
+}
+
+// Fuse combines two sources whose class sets align by index (class i of a
+// and class i of b are views of the same event). It errors when the class
+// counts differ — there is no meaningful shared timeline then.
+func Fuse(a, b ClassConditional) (*Fused, error) {
+	sa, sb := a.Spec(), b.Spec()
+	if sa.Classes != sb.Classes {
+		return nil, fmt.Errorf("modality: cannot fuse %s (%d classes) with %s (%d classes)",
+			sa.Name, sa.Classes, sb.Name, sb.Classes)
+	}
+	return &Fused{A: a, B: b}, nil
+}
+
+// Spec implements Source. The fused name joins the parts with '+', the
+// shape is the flattened concatenation, and class i is named
+// "aName+bName" from the part sources' class i names.
+func (f *Fused) Spec() Spec {
+	sa, sb := f.A.Spec(), f.B.Spec()
+	names := make([]string, sa.Classes)
+	for i := range names {
+		names[i] = sa.ClassNames[i] + "+" + sb.ClassNames[i]
+	}
+	return Spec{
+		Name:       sa.Name + "+" + sb.Name,
+		Shape:      []int{sa.NumElements() + sb.NumElements()},
+		Classes:    sa.Classes,
+		ClassNames: names,
+	}
+}
+
+// GenerateClass implements ClassConditional: both sources render the same
+// event class from named sub-streams, so either view is independently
+// reproducible from the sample's stream.
+func (f *Fused) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	ta, err := f.A.GenerateClass(class, stream.Split("a"))
+	if err != nil {
+		return nil, err
+	}
+	tb, err := f.B.GenerateClass(class, stream.Split("b"))
+	if err != nil {
+		return nil, err
+	}
+	da, db := ta.Data(), tb.Data()
+	out := make([]float64, 0, len(da)+len(db))
+	out = append(out, da...)
+	out = append(out, db...)
+	return tensor.FromSlice(out, len(out)), nil
+}
+
+// Generate implements Source.
+func (f *Fused) Generate(n int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(f, n, stream)
+}

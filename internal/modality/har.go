@@ -1,0 +1,58 @@
+package modality
+
+import (
+	"zeiot/internal/cnn"
+	"zeiot/internal/har"
+	"zeiot/internal/ml"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// HAR adapts the zero-energy resonator-bank activity recognizer
+// (internal/har) as a 5-class modality over chatter-rate feature vectors.
+type HAR struct {
+	// Cfg parameterizes the waveform generator and the sensor bank.
+	Cfg har.Config
+}
+
+// NewHAR returns the adapter at the e13 experiment grade: the default
+// 4-resonator bank over 4 s windows.
+func NewHAR() *HAR {
+	return &HAR{Cfg: har.DefaultConfig()}
+}
+
+// Spec implements Source.
+func (h *HAR) Spec() Spec {
+	names := make([]string, har.NumActivities())
+	for a := 0; a < har.NumActivities(); a++ {
+		names[a] = har.Activity(a).String()
+	}
+	return Spec{
+		Name:       "har",
+		Shape:      []int{len(h.Cfg.BankHz)},
+		Classes:    har.NumActivities(),
+		ClassNames: names,
+	}
+}
+
+// GenerateClass implements ClassConditional: one activity window through
+// the resonator bank.
+func (h *HAR) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	feat, err := har.ClassFeatures(h.Cfg, har.Activity(class), stream)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(feat, len(feat)), nil
+}
+
+// Generate implements Source.
+func (h *HAR) Generate(n int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(h, n, stream)
+}
+
+// Campaign reproduces the historical e13 feature matrix byte-for-byte:
+// windowsPerClass windows per activity in class-major order, each drawn
+// from the generator's historical per-window named splits.
+func (h *HAR) Campaign(windowsPerClass int, stream *rng.Stream) (ml.Dataset, error) {
+	return har.GenerateDataset(h.Cfg, windowsPerClass, stream)
+}

@@ -1,0 +1,53 @@
+package modality
+
+import (
+	"zeiot/internal/cnn"
+	"zeiot/internal/intrusion"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Intrusion adapts the UWB range–time map generator (internal/intrusion) as
+// a 3-class empty/human/animal modality.
+type Intrusion struct {
+	// Cfg parameterizes map generation; Cfg.Seed is ignored (streams come
+	// from the caller).
+	Cfg intrusion.Config
+}
+
+// NewIntrusion returns the adapter at the e14 experiment grade: 24×24
+// range–time maps at 8 Hz.
+func NewIntrusion() *Intrusion {
+	return &Intrusion{Cfg: intrusion.DefaultConfig()}
+}
+
+// Spec implements Source.
+func (n *Intrusion) Spec() Spec {
+	names := make([]string, intrusion.NumClasses())
+	for c := 0; c < intrusion.NumClasses(); c++ {
+		names[c] = intrusion.Class(c).String()
+	}
+	return Spec{
+		Name:       "intrusion",
+		Shape:      []int{1, n.Cfg.RangeBins, n.Cfg.Frames},
+		Classes:    intrusion.NumClasses(),
+		ClassNames: names,
+	}
+}
+
+// GenerateClass implements ClassConditional: one labelled range–time map.
+func (n *Intrusion) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	return intrusion.Generate(n.Cfg, intrusion.Class(class), stream), nil
+}
+
+// Generate implements Source.
+func (n *Intrusion) Generate(count int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(n, count, stream)
+}
+
+// Campaign reproduces the historical e14 dataset byte-for-byte: perClass
+// maps per class from the generator's historical per-map named splits,
+// shuffled from stream.
+func (n *Intrusion) Campaign(perClass int, stream *rng.Stream) []cnn.Sample {
+	return intrusion.GenerateDataset(n.Cfg, perClass, stream)
+}

@@ -1,0 +1,52 @@
+package modality
+
+import (
+	"zeiot/internal/cnn"
+	"zeiot/internal/dataset"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Lounge adapts the thermal-field generator (internal/dataset) as a binary
+// comfort/discomfort modality over temperature snapshots.
+type Lounge struct {
+	// Cfg parameterizes the generator; Cfg.Seed is ignored (streams come
+	// from the caller).
+	Cfg dataset.LoungeConfig
+}
+
+// NewLounge returns the adapter at the e2 experiment grade: the paper's
+// 17×25 cell field with the realistic 0.75 °C sensor noise that keeps
+// accuracies off the ceiling.
+func NewLounge() *Lounge {
+	cfg := dataset.DefaultLoungeConfig()
+	cfg.NoiseC = 0.75
+	return &Lounge{Cfg: cfg}
+}
+
+// Spec implements Source.
+func (l *Lounge) Spec() Spec {
+	return Spec{
+		Name:       "lounge",
+		Shape:      []int{1, l.Cfg.Rows, l.Cfg.Cols},
+		Classes:    2,
+		ClassNames: []string{"comfort", "discomfort"},
+	}
+}
+
+// GenerateClass implements ClassConditional: one snapshot at a stream-drawn
+// campaign time, with the anomaly blob present exactly when class is 1.
+func (l *Lounge) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	return dataset.GenerateLoungeSnapshot(l.Cfg, class == 1, stream), nil
+}
+
+// Generate implements Source.
+func (l *Lounge) Generate(n int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(l, n, stream)
+}
+
+// Campaign reproduces the historical e2 dataset byte-for-byte: the full
+// half-hourly campaign in time order, every variate drawn from stream.
+func (l *Lounge) Campaign(stream *rng.Stream) ([]cnn.Sample, error) {
+	return dataset.GenerateLoungeFrom(l.Cfg, stream)
+}

@@ -1,0 +1,89 @@
+package modality
+
+import (
+	"fmt"
+
+	"zeiot/internal/cnn"
+	"zeiot/internal/motion"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+)
+
+// Motion adapts the Motion-Fi backscatter-RSSI generator (internal/motion)
+// as a 4-class exercise modality over fixed-length RSSI windows: idle tag,
+// squats, steps, and arm raises, separated by their repetition periods.
+type Motion struct {
+	// Base is the workout template; per-class variants override the rep
+	// period and count. WindowSec is the fixed window each sample is
+	// cropped or zero-padded to.
+	Base      motion.Workout
+	WindowSec float64
+}
+
+// NewMotion returns the adapter: 6 s windows at the default 50 Hz RSSI
+// rate.
+func NewMotion() *Motion {
+	base := motion.DefaultWorkout()
+	base.LeadSec, base.TrailSec = 1, 1
+	return &Motion{Base: base, WindowSec: 6}
+}
+
+// motionClasses maps class index to the exercise's nominal rep period in
+// seconds; period 0 is the idle class.
+var motionClasses = []struct {
+	name      string
+	periodSec float64
+}{
+	{"idle", 0},
+	{"squat", 2.0},
+	{"step", 0.9},
+	{"armraise", 1.5},
+}
+
+// Spec implements Source.
+func (m *Motion) Spec() Spec {
+	names := make([]string, len(motionClasses))
+	for i, c := range motionClasses {
+		names[i] = c.name
+	}
+	return Spec{
+		Name:       "motion",
+		Shape:      []int{int(m.WindowSec * m.Base.SampleHz)},
+		Classes:    len(motionClasses),
+		ClassNames: names,
+	}
+}
+
+// GenerateClass implements ClassConditional: one recording of the class's
+// exercise filling the window between the lead/trail idle periods, cropped
+// or zero-padded to the fixed window length (rep-duration jitter moves the
+// raw recording length).
+func (m *Motion) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	if class < 0 || class >= len(motionClasses) {
+		return nil, fmt.Errorf("modality: motion class %d outside [0, %d)", class, len(motionClasses))
+	}
+	w := m.Base
+	spec := motionClasses[class]
+	exerciseSec := m.WindowSec - w.LeadSec - w.TrailSec
+	if spec.periodSec == 0 {
+		w.Reps = 0
+		w.LeadSec = m.WindowSec // all idle
+		w.TrailSec = 0
+	} else {
+		w.RepPeriodSec = spec.periodSec
+		w.Reps = int(exerciseSec / spec.periodSec)
+	}
+	signal, err := motion.Generate(w, stream)
+	if err != nil {
+		return nil, err
+	}
+	n := int(m.WindowSec * w.SampleHz)
+	out := make([]float64, n)
+	copy(out, signal) // crop or zero-pad to the fixed window
+	return tensor.FromSlice(out, n), nil
+}
+
+// Generate implements Source.
+func (m *Motion) Generate(n int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(m, n, stream)
+}

@@ -1,0 +1,65 @@
+package modality
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry maps modality names to constructors. Registration order is
+// preserved by names so enumeration (and therefore E18's matrix row order)
+// is deterministic and matches the order sources registered in.
+var (
+	registryNames []string
+	registryByKey = map[string]func() Source{}
+)
+
+// Register adds a modality constructor under name. It panics on duplicate
+// names — registration happens in init functions, where a duplicate is a
+// programming error, not a runtime condition.
+func Register(name string, ctor func() Source) {
+	if _, dup := registryByKey[name]; dup {
+		panic(fmt.Sprintf("modality: duplicate registration of %q", name))
+	}
+	registryByKey[name] = ctor
+	registryNames = append(registryNames, name)
+}
+
+// Names returns every registered modality name in registration order.
+func Names() []string {
+	return append([]string(nil), registryNames...)
+}
+
+// New constructs a fresh Source for name. Constructors return independent
+// values, so callers may mutate the returned adapter's config without
+// affecting other users of the registry.
+func New(name string) (Source, error) {
+	ctor, ok := registryByKey[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("modality: unknown modality %q (registered: %v)", name, known)
+	}
+	return ctor(), nil
+}
+
+func init() {
+	Register("gait", func() Source { return NewGait() })
+	Register("lounge", func() Source { return NewLounge() })
+	Register("csi", func() Source { return NewCSILoc() })
+	Register("rfid", func() Source { return NewRFIDDir() })
+	Register("har", func() Source { return NewHAR() })
+	Register("intrusion", func() Source { return NewIntrusion() })
+	Register("vitals", func() Source { return NewVitals() })
+	Register("motion", func() Source { return NewMotion() })
+	// One fused pair ships by default: fall detection corroborated by
+	// chest-tag vitals — the cross-modal fusion the paper's shared substrate
+	// makes possible. Both sources are binary with aligned event semantics
+	// (class 0 = nominal, class 1 = alarm).
+	Register("gait+vitals", func() Source {
+		f, err := Fuse(NewGait(), NewVitals())
+		if err != nil {
+			panic(fmt.Sprintf("modality: registering gait+vitals: %v", err))
+		}
+		return f
+	})
+}

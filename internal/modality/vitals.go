@@ -1,0 +1,72 @@
+package modality
+
+import (
+	"zeiot/internal/cnn"
+	"zeiot/internal/rfid"
+	"zeiot/internal/rng"
+	"zeiot/internal/tensor"
+	"zeiot/internal/vitals"
+)
+
+// Vitals adapts the RF-ECG chest-tag-array generator (internal/vitals) as a
+// binary resting/elevated modality over per-tag displacement traces: each
+// tag's wrapped phase stream is unwrapped to chest-surface displacement in
+// millimetres, giving a (1, Tags, samples) image whose periodicity carries
+// the heart and respiration rates.
+type Vitals struct {
+	// Cfg is the sensing setup. The default shortens the window from the
+	// e15 estimation grade (30 s) to 8 s — enough cycles for a CNN to
+	// separate the rate classes at a per-sample size that trains quickly.
+	Cfg vitals.Config
+}
+
+// NewVitals returns the adapter: the default 4-tag array read at 20 Hz over
+// 8 s windows.
+func NewVitals() *Vitals {
+	cfg := vitals.DefaultConfig()
+	cfg.WindowSec = 8
+	return &Vitals{Cfg: cfg}
+}
+
+// Spec implements Source.
+func (v *Vitals) Spec() Spec {
+	n := int(v.Cfg.SampleHz * v.Cfg.WindowSec)
+	return Spec{
+		Name:       "vitals",
+		Shape:      []int{1, v.Cfg.Tags, n},
+		Classes:    2,
+		ClassNames: []string{"resting", "elevated"},
+	}
+}
+
+// GenerateClass implements ClassConditional: one capture window of a
+// subject whose rates sit in the resting (class 0) or elevated (class 1)
+// band, with the subject's exact rates drawn per sample.
+func (v *Vitals) GenerateClass(class int, stream *rng.Stream) (*tensor.Tensor, error) {
+	s := vitals.RestingAdult()
+	if class == 1 {
+		// Post-exertion: tachycardic heart, fast shallow breathing.
+		s.HeartHz = 1.6 + stream.Float64()*0.4
+		s.BreathHz = 0.4 + stream.Float64()*0.15
+		s.HeartMM = 0.7
+		s.BreathMM = 3
+	} else {
+		s.HeartHz = 0.9 + stream.Float64()*0.4
+		s.BreathHz = 0.2 + stream.Float64()*0.1
+	}
+	phases := vitals.Capture(v.Cfg, s, stream)
+	n := int(v.Cfg.SampleHz * v.Cfg.WindowSec)
+	out := tensor.New(1, v.Cfg.Tags, n)
+	for tag, p := range phases {
+		dd := rfid.DeltaDistances(rfid.UnwrapPhases(p), v.Cfg.Reader.Lambda)
+		for i, d := range dd {
+			out.Set(d*1000, 0, tag, i) // metres → millimetres
+		}
+	}
+	return out, nil
+}
+
+// Generate implements Source.
+func (v *Vitals) Generate(n int, stream *rng.Stream) ([]cnn.Sample, error) {
+	return generateBalanced(v, n, stream)
+}

@@ -7,8 +7,6 @@ package zeiot
 
 import (
 	"zeiot/internal/cnn"
-	"zeiot/internal/ml"
-	"zeiot/internal/tensor"
 )
 
 // quantEval lowers a trained float CNN to int8 fixed point (calibrating the
@@ -43,17 +41,4 @@ func (h *harness) quantEval(prefix string, net *cnn.Network, calib, test []cnn.S
 		rec.Gauge(prefix+"quant_accuracy", qacc)
 	}
 	return qacc, agree, nil
-}
-
-// featureSamples converts a labelled feature matrix into 1-D CNN samples
-// (feature rows are copied, so the samples own their data).
-func featureSamples(d ml.Dataset) []cnn.Sample {
-	out := make([]cnn.Sample, d.Len())
-	for i, x := range d.X {
-		out[i] = cnn.Sample{
-			Input: tensor.FromSlice(append([]float64(nil), x...), len(x)),
-			Label: d.Y[i],
-		}
-	}
-	return out
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"zeiot/internal/microdeep"
+	"zeiot/internal/modality"
 	"zeiot/internal/obs"
 	"zeiot/internal/rng"
 	"zeiot/internal/wsn"
@@ -75,6 +76,19 @@ type RunConfig struct {
 	// after N training batches, and resuming from the resulting checkpoint
 	// file to a byte-identical result. The zero value disables both.
 	Checkpoint CheckpointConfig
+	// Modalities restricts the modality set of the experiments that sweep
+	// the modality registry (currently e18's benchmark matrix). Empty keeps
+	// every registered modality. Names must be registered in
+	// internal/modality (e.g. gait, lounge, csi, rfid, har, intrusion,
+	// vitals, motion, gait+vitals).
+	//
+	// Ownership rule: like Nodes, an experiment honours Modalities only if
+	// it owns a registry sweep; the single-modality experiments (e1's gait,
+	// e2's lounge, ...) ignore it by design because their modality is the
+	// claim they reproduce. Per-modality rng streams are derived by name,
+	// so filtering changes which rows appear, never the values of the rows
+	// that remain.
+	Modalities []string
 	// Recorder receives the run's observability stream (training curves,
 	// cache hit rates, per-node radio scalars, stage timings). Nil disables
 	// observation entirely — the instrumented paths cost one nil check.
@@ -199,6 +213,11 @@ func (c *RunConfig) Validate() error {
 	if !c.Checkpoint.enabled() && c.Checkpoint.Path != "" {
 		return fmt.Errorf("zeiot: RunConfig.Checkpoint.Path %q set but neither KillAfterBatches nor Resume is; set one or clear the path", c.Checkpoint.Path)
 	}
+	for _, m := range c.Modalities {
+		if _, err := modality.New(m); err != nil {
+			return fmt.Errorf("zeiot: RunConfig.Modalities: %w", err)
+		}
+	}
 	l := c.Loss
 	if l.DropProb < 0 || l.DropProb > 1 {
 		return fmt.Errorf("zeiot: RunConfig.Loss.DropProb %g outside [0, 1]", l.DropProb)
@@ -214,9 +233,11 @@ func (c *RunConfig) Validate() error {
 }
 
 // Clone returns an independent copy, so a caller can derive per-run
-// variants from a shared base config.
+// variants from a shared base config. The Modalities slice is copied, so a
+// variant can append or reassign without mutating the base.
 func (c *RunConfig) Clone() *RunConfig {
 	out := *c
+	out.Modalities = append([]string(nil), c.Modalities...)
 	return &out
 }
 
@@ -308,6 +329,9 @@ func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
 		}
 		if k := cfg.Checkpoint.KillAfterBatches; k > 0 {
 			rec.Gauge("config_checkpoint_kill_after", float64(k))
+		}
+		if len(cfg.Modalities) > 0 {
+			rec.Gauge("config_modalities", float64(len(cfg.Modalities)))
 		}
 	}
 	now := time.Now()
