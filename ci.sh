@@ -128,3 +128,52 @@ if go run ./cmd/zeiotbench -e e18 -modalities sonar > /dev/null 2>&1; then
     echo "zeiotbench accepted an unknown -modalities name" >&2
     exit 1
 fi
+
+# Checkpoint-broadcast regression (PR 10): the checkpoint flags drive one
+# experiment's kill/resume flow, so a multi-experiment selection and a
+# non-owning experiment must both be explicit errors, never a silent
+# broadcast.
+if go run ./cmd/zeiotbench -e e1,e17 -checkpoint /tmp/never-written.ck -resume > /dev/null 2>&1; then
+    echo "zeiotbench accepted a multi-experiment -checkpoint run" >&2
+    exit 1
+fi
+if go run ./cmd/zeiotbench -e e1 -checkpoint /tmp/never-written.ck -resume > /dev/null 2>&1; then
+    echo "zeiotbench accepted -checkpoint for a non-owning experiment" >&2
+    exit 1
+fi
+
+# Simulation-service smoke (PR 10): build the daemon (a real binary, so the
+# SIGTERM below reaches it directly — `go run` does not forward signals),
+# submit e1 through the HTTP path, and require the result byte-identical to
+# the checked-in golden; a resubmission must be served from cache with the
+# identical bytes; SIGTERM must drain cleanly.
+zd="$(mktemp -d)"
+go build -o "$zd/zeiotd" ./cmd/zeiotd
+"$zd/zeiotd" -addr 127.0.0.1:0 -addrfile "$zd/addr" -workers 2 > "$zd/log" 2>&1 &
+zd_pid=$!
+trap 'kill "$zd_pid" 2>/dev/null || true; rm -f "$smoke" "$m1" "$m2"; rm -rf "$zd"' EXIT
+for _ in $(seq 50); do test -s "$zd/addr" && break; sleep 0.1; done
+zd_url="http://$(cat "$zd/addr")"
+job="$(curl -sf -X POST "$zd_url/jobs" -d '{"experiment":"e1","config":{"Seed":1}}')"
+jid="$(printf '%s' "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+for _ in $(seq 600); do
+    state="$(curl -sf "$zd_url/jobs/$jid" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')"
+    case "$state" in done|failed|canceled) break ;; esac
+    sleep 0.5
+done
+test "$state" = done
+curl -sf "$zd_url/jobs/$jid/result" > "$smoke"
+diff -u testdata/e1_seed1.golden.json "$smoke"
+# Resubmit: must hit the cache (HTTP 200, cache_hit true) and serve the
+# byte-identical result.
+hit="$(curl -sf -X POST "$zd_url/jobs" -d '{"experiment":"e1","config":{"Seed":1}}')"
+printf '%s' "$hit" | grep -q '"cache_hit": true'
+hid="$(printf '%s' "$hit" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')"
+curl -sf "$zd_url/jobs/$hid/result" > "$m1"
+diff -u "$smoke" "$m1"
+curl -sf "$zd_url/metrics" | grep -q '^zeiotd_cache_hits 1$'
+# SIGTERM: the daemon drains (statuses flushed, summary printed) and exits 0.
+kill -TERM "$zd_pid"
+wait "$zd_pid"
+grep -q 'zeiotd: drained: done=2 failed=0 canceled=0' "$zd/log"
+rm -rf "$zd"

@@ -222,6 +222,9 @@ func run() int {
 		return fail(fmt.Errorf("-killafter/-resume require -checkpoint <path>"))
 	}
 	ckpt := zeiot.CheckpointConfig{Path: *ckptF, KillAfterBatches: *killF, Resume: *resumeF}
+	if err := checkpointScope(selected, ckpt); err != nil {
+		return fail(err)
+	}
 	var mods []string
 	if *modsF != "" {
 		for _, m := range strings.Split(*modsF, ",") {
@@ -232,6 +235,38 @@ func run() int {
 }
 
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// checkpointOwners is the ownership rule for -checkpoint/-killafter/-resume:
+// the experiments whose Run reads RunConfig.Checkpoint. Keep it in sync with
+// the engine (today only e17's intermittent-power runtime checkpoints).
+var checkpointOwners = map[string]bool{"e17": true}
+
+// checkpointScope validates the checkpoint flags against the -e selection.
+// Unlike -nodes and -modalities — per-value knobs whose non-owning
+// experiments ignore them harmlessly — a checkpoint run is stateful: it
+// writes and consumes one file and may deliberately exit nonzero mid-run.
+// Broadcasting it to every -e entry (the historical behaviour) handed
+// non-owning experiments a config they silently dropped and let two
+// checkpoint runs under -parallel contend on one file, so a non-zero
+// checkpoint config requires exactly one selected experiment, and that
+// experiment must own the kill/resume flow. The zero config always passes.
+func checkpointScope(selected []zeiot.Experiment, ckpt zeiot.CheckpointConfig) error {
+	if ckpt == (zeiot.CheckpointConfig{}) {
+		return nil
+	}
+	if len(selected) != 1 {
+		ids := make([]string, len(selected))
+		for i, e := range selected {
+			ids[i] = e.ID
+		}
+		return fmt.Errorf("-checkpoint/-killafter/-resume drive a single experiment's kill/resume flow, but %d experiments are selected (%s); pass -e with exactly one",
+			len(selected), strings.Join(ids, ","))
+	}
+	if !checkpointOwners[selected[0].ID] {
+		return fmt.Errorf("-checkpoint: %s does not own a kill/resume flow (checkpoint-owning experiments: e17)", selected[0].ID)
+	}
+	return nil
+}
 
 func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut, timings, metrics bool, metricsOut string,
 	twVals []int, scVals []float64, rpVals []int, lossVals []float64, lbVals []bool, lrVals []int, bkVals []int, qVals []bool, ndVals []int,
@@ -275,7 +310,12 @@ func runSelected(selected []zeiot.Experiment, seed uint64, parallel int, jsonOut
 		rc.Quantize = qVals[i]
 		rc.Nodes = ndVals[i]
 		rc.Harvest = zeiot.HarvestConfig{PowerScale: hvVals[i], Profile: hpVals[i]}
-		rc.Checkpoint = ckpt
+		// Ownership rule: the checkpoint config reaches only the experiments
+		// that own a kill/resume flow. checkpointScope already rejected any
+		// selection this gate would silently drop it from.
+		if checkpointOwners[selected[i].ID] {
+			rc.Checkpoint = ckpt
+		}
 		rc.Modalities = mods
 		if lossVals[i] > 0 {
 			lc := zeiot.DefaultLossConfig()

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"zeiot"
+)
+
+func experiments(t *testing.T, ids ...string) []zeiot.Experiment {
+	t.Helper()
+	out := make([]zeiot.Experiment, len(ids))
+	for i, id := range ids {
+		e, err := zeiot.FindExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// TestCheckpointScope is the regression test for the checkpoint broadcast
+// bug: -checkpoint/-killafter/-resume used to be applied to every -e entry,
+// handing non-owning experiments a checkpoint config and letting parallel
+// runs contend on one checkpoint file. The scope rule rejects both.
+func TestCheckpointScope(t *testing.T) {
+	resume := zeiot.CheckpointConfig{Path: "f.ck", Resume: true}
+	kill := zeiot.CheckpointConfig{Path: "f.ck", KillAfterBatches: 10}
+
+	// The zero config passes for any selection — no checkpoint flow requested.
+	for _, sel := range [][]string{{"e17"}, {"e1", "e17"}, {"e1", "e2", "e3"}} {
+		if err := checkpointScope(experiments(t, sel...), zeiot.CheckpointConfig{}); err != nil {
+			t.Errorf("zero config with -e %v rejected: %v", sel, err)
+		}
+	}
+
+	// The owner alone passes, for both halves of the kill/resume flow.
+	for _, ckpt := range []zeiot.CheckpointConfig{resume, kill} {
+		if err := checkpointScope(experiments(t, "e17"), ckpt); err != nil {
+			t.Errorf("e17 with %+v rejected: %v", ckpt, err)
+		}
+	}
+
+	// The broadcast case: multiple experiments selected. This is the exact
+	// invocation from the bug report (-e e1,e17 -checkpoint f.ck -resume).
+	err := checkpointScope(experiments(t, "e1", "e17"), resume)
+	if err == nil {
+		t.Fatal("multi-experiment checkpoint run accepted")
+	}
+	if !strings.Contains(err.Error(), "e1,e17") {
+		t.Errorf("error %q does not name the offending selection", err)
+	}
+
+	// A single non-owning experiment: the config would be silently dropped,
+	// so it is rejected, naming the owner set.
+	err = checkpointScope(experiments(t, "e1"), kill)
+	if err == nil {
+		t.Fatal("non-owner checkpoint run accepted")
+	}
+	if !strings.Contains(err.Error(), "e17") {
+		t.Errorf("error %q does not name the checkpoint owners", err)
+	}
+}
+
+// TestCheckpointOwnersMatchEngine pins the CLI's owner set to the engine:
+// every listed owner must be a registered experiment.
+func TestCheckpointOwnersMatchEngine(t *testing.T) {
+	for id := range checkpointOwners {
+		if _, err := zeiot.FindExperiment(id); err != nil {
+			t.Errorf("checkpointOwners lists %s: %v", id, err)
+		}
+	}
+}
+
+// TestPerRun covers the per-run flag parser the comma-list scoping relies
+// on: broadcast, exact-length lists, and length-mismatch rejection.
+func TestPerRun(t *testing.T) {
+	got, err := perRun("w", "3", 4, strconv.Atoi)
+	if err != nil || len(got) != 4 || got[0] != 3 || got[3] != 3 {
+		t.Errorf("broadcast: %v, %v", got, err)
+	}
+	got, err = perRun("w", "1, 2,3", 3, strconv.Atoi)
+	if err != nil || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("list: %v, %v", got, err)
+	}
+	if _, err = perRun("w", "1,2", 3, strconv.Atoi); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err = perRun("w", "1,x,3", 3, strconv.Atoi); err == nil {
+		t.Error("unparseable entry accepted")
+	}
+}

@@ -1,0 +1,254 @@
+// Command loadtest hammers a running zeiotd with a repeated experiment
+// sweep and reports whether the daemon meets its throughput and cache-hit
+// targets. It is the out-of-process counterpart to the in-process TestDaemonLoad:
+// point it at a real daemon over TCP to measure the full HTTP path.
+//
+// The workload is the acceptance scenario: warm the cache with one real run
+// per sweep config (seeds 1..-sweep), then fire -n submissions round-robin
+// over those configs from -c concurrent clients. A healthy daemon serves the
+// hammer phase almost entirely from cache, and every cached response is
+// byte-identical to the fresh run it was warmed with.
+//
+// Usage:
+//
+//	zeiotd -addr 127.0.0.1:0 -addrfile /tmp/addr &
+//	loadtest -url http://$(cat /tmp/addr) -experiment e1 -n 300 -c 8 \
+//	         -minrate 50 -minhit 0.9
+//
+// Output is one JSON summary on stdout. Exit status: 0 when every threshold
+// is met and no submission failed, 1 otherwise, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type submitResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Key      string `json:"key"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+type summary struct {
+	Experiment  string  `json:"experiment"`
+	Sweep       int     `json:"sweep"`
+	Submissions int     `json:"submissions"`
+	Hits        int     `json:"hits"`
+	Errors      int     `json:"errors"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Mismatched  int     `json:"mismatched"`
+	OK          bool    `json:"ok"`
+}
+
+func run() int {
+	var (
+		baseURL    = flag.String("url", "", "daemon base URL, e.g. http://127.0.0.1:8321 (required)")
+		experiment = flag.String("experiment", "e1", "experiment id to sweep")
+		configJSON = flag.String("config", `{"Seed":1}`, "RunConfig JSON template; Seed is overridden per sweep entry")
+		sweep      = flag.Int("sweep", 1, "number of distinct seeds (1..sweep) in the sweep")
+		n          = flag.Int("n", 300, "hammer-phase submissions, round-robin over the sweep")
+		c          = flag.Int("c", 8, "concurrent clients")
+		minRate    = flag.Float64("minrate", 0, "fail unless the hammer phase sustains this many submissions/sec")
+		minHit     = flag.Float64("minhit", 0, "fail unless this fraction of hammer submissions hit the cache")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "per-warmup-run poll deadline")
+	)
+	flag.Parse()
+	if *baseURL == "" || *sweep < 1 || *n < 1 || *c < 1 {
+		flag.Usage()
+		return 2
+	}
+	url := strings.TrimRight(*baseURL, "/")
+
+	var tmpl map[string]any
+	if err := json.Unmarshal([]byte(*configJSON), &tmpl); err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: bad -config: %v\n", err)
+		return 2
+	}
+
+	// One request body per sweep entry: the template with Seed overridden.
+	bodies := make([]string, *sweep)
+	for i := range bodies {
+		cfg := make(map[string]any, len(tmpl)+1)
+		for k, v := range tmpl {
+			cfg[k] = v
+		}
+		cfg["Seed"] = i + 1
+		b, err := json.Marshal(map[string]any{"experiment": *experiment, "config": cfg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			return 2
+		}
+		bodies[i] = string(b)
+	}
+
+	// Warm phase: run each sweep entry once and keep its result bytes as
+	// the byte-identity reference for the hammer phase.
+	fresh := make([][]byte, *sweep)
+	for i, body := range bodies {
+		sr, code, err := submit(url, body)
+		if err != nil || (code != http.StatusOK && code != http.StatusAccepted) {
+			fmt.Fprintf(os.Stderr, "loadtest: warm submit %d: status %d, err %v\n", i+1, code, err)
+			return 1
+		}
+		if err := pollDone(url, sr.ID, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: warm job %s: %v\n", sr.ID, err)
+			return 1
+		}
+		if fresh[i], err = result(url, sr.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: warm result %s: %v\n", sr.ID, err)
+			return 1
+		}
+	}
+
+	// Hammer phase: -n submissions round-robin over the warm sweep.
+	var (
+		mu         sync.Mutex
+		hits       int
+		errCount   int
+		mismatched int
+	)
+	next := make(chan int)
+	go func() {
+		for i := 0; i < *n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < *c; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				idx := i % *sweep
+				sr, code, err := submit(url, bodies[idx])
+				if err != nil || (code != http.StatusOK && code != http.StatusAccepted) {
+					mu.Lock()
+					errCount++
+					mu.Unlock()
+					continue
+				}
+				hit := sr.CacheHit
+				if !hit {
+					// A miss mid-hammer means a concurrent identical run;
+					// wait it out so the byte check below still applies.
+					if err := pollDone(url, sr.ID, *timeout); err != nil {
+						mu.Lock()
+						errCount++
+						mu.Unlock()
+						continue
+					}
+				}
+				got, err := result(url, sr.ID)
+				mu.Lock()
+				if hit {
+					hits++
+				}
+				if err != nil {
+					errCount++
+				} else if !bytes.Equal(got, fresh[idx]) {
+					mismatched++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summary{
+		Experiment:  *experiment,
+		Sweep:       *sweep,
+		Submissions: *n,
+		Hits:        hits,
+		Errors:      errCount,
+		ElapsedSec:  elapsed.Seconds(),
+		RatePerSec:  float64(*n) / elapsed.Seconds(),
+		HitRatio:    float64(hits) / float64(*n),
+		Mismatched:  mismatched,
+	}
+	sum.OK = sum.Errors == 0 && sum.Mismatched == 0 &&
+		sum.RatePerSec >= *minRate && sum.HitRatio >= *minHit
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(sum)
+	if !sum.OK {
+		return 1
+	}
+	return 0
+}
+
+func submit(url, body string) (submitResponse, int, error) {
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return submitResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	var sr submitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return submitResponse{}, resp.StatusCode, err
+		}
+	}
+	return sr, resp.StatusCode, nil
+}
+
+func pollDone(url, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s did not finish within %s", id, timeout)
+}
+
+func result(url, id string) ([]byte, error) {
+	resp, err := http.Get(url + "/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, out)
+	}
+	return out, nil
+}

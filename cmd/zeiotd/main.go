@@ -1,0 +1,105 @@
+// Command zeiotd is the simulation-as-a-service daemon: the run-and-exit
+// zeiotbench CLI promoted to a long-running multi-tenant server. Clients
+// submit RunConfig-shaped jobs over HTTP/JSON; the daemon schedules them
+// across a bounded worker pool behind a backpressured queue, streams status
+// and progress while they run, and caches completed results by canonical
+// config hash, so a repeated scenario sweep — the paper's "many clients,
+// shared infrastructure" workload — is served from cache, byte-identical to
+// a fresh run.
+//
+// Usage:
+//
+//	zeiotd                      # serve on 127.0.0.1:8321
+//	zeiotd -addr 127.0.0.1:0    # pick a free port (printed on stdout)
+//	zeiotd -addrfile /tmp/addr  # also write the bound address to a file
+//	zeiotd -workers 4 -queue 64 # worker pool and queue bounds
+//	zeiotd -grace 10s           # drain grace for SIGTERM shutdown
+//
+// API:
+//
+//	POST /jobs             {"experiment":"e1","config":{"Seed":1}} → 202 {id,...}
+//	                       (cache hit → 200 with state "done"; queue full → 429;
+//	                       draining → 503; invalid → 400)
+//	GET  /jobs             all job statuses
+//	GET  /jobs/{id}        one status, with per-job metrics as progress
+//	GET  /jobs/{id}/result finished result, byte-identical to zeiotbench -json
+//	GET  /metrics          daemon metrics (Prometheus text, zeiotd_ prefix)
+//	GET  /healthz          liveness
+//
+// On SIGTERM/SIGINT the daemon stops accepting submissions, cancels jobs
+// still queued, gives running jobs the -grace window before canceling their
+// contexts, then flushes every job's final status to stdout and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (port 0 picks a free port)")
+		addrFile = flag.String("addrfile", "", "write the bound address to this file once listening")
+		workers  = flag.Int("workers", 0, "concurrent experiment runs (0 = NumCPU)")
+		queueCap = flag.Int("queue", 64, "job queue capacity; submissions beyond it get 429")
+		grace    = flag.Duration("grace", 10*time.Second, "drain window for running jobs on shutdown before their contexts are canceled")
+	)
+	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
+
+	s := newServer(*workers, *queueCap, nil)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zeiotd: %v\n", err)
+		return 2
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("zeiotd: listening on %s (workers %d, queue %d)\n", bound, *workers, *queueCap)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "zeiotd: %v\n", err)
+			return 2
+		}
+	}
+
+	httpSrv := &http.Server{Handler: s.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("zeiotd: %s received, draining (grace %s)\n", sig, *grace)
+		sum, statuses := s.drain(*grace)
+		// Flush every job's final status, then the drain summary, so no
+		// job's outcome is lost with the process.
+		enc := json.NewEncoder(os.Stdout)
+		for _, st := range statuses {
+			enc.Encode(st)
+		}
+		fmt.Printf("zeiotd: drained: done=%d failed=%d canceled=%d\n", sum.Done, sum.Failed, sum.Canceled)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		return 0
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "zeiotd: %v\n", err)
+		return 1
+	}
+}

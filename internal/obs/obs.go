@@ -67,10 +67,25 @@ func (nop) Add(string, int64)       {}
 func (nop) Gauge(string, float64)   {}
 func (nop) Observe(string, float64) {}
 
+// RunSequencer is implemented by recorders that can number the runs sharing
+// them. The experiment harness claims a run number at the start of every run
+// and, from the second run on, prefixes that run's metric names with
+// "run<N>_", so two runs sharing one recorder — the documented
+// RunConfig.Clone behaviour — can never clobber each other's config gauges
+// or interleave their series. The first run keeps unprefixed names, so a
+// single-run registry (the common case) exports exactly the bytes it always
+// did.
+type RunSequencer interface {
+	// NextRun returns 1 on the first call and counts up; each call claims
+	// one run. Implementations must be safe for concurrent use.
+	NextRun() int
+}
+
 // Registry is the standard Recorder: mutex-guarded maps of counters, gauges,
 // and series. The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
+	runs     int
 	counters map[string]int64
 	gauges   map[string]float64
 	series   map[string][]float64
@@ -104,6 +119,62 @@ func (r *Registry) Observe(series string, value float64) {
 	r.mu.Lock()
 	r.series[series] = append(r.series[series], value)
 	r.mu.Unlock()
+}
+
+// NextRun implements RunSequencer: it claims and returns the next run
+// number for a registry shared by several runs.
+func (r *Registry) NextRun() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runs++
+	return r.runs
+}
+
+// WithPrefix returns a Recorder that prepends prefix to every metric name
+// before forwarding to inner. Wall-time metrics keep their WallTimePrefix
+// outermost — "walltime_stage_total_seconds" becomes
+// "walltime_<prefix>stage_total_seconds" — so Snapshot.Deterministic still
+// strips every nondeterministic metric of a prefixed run. The wrapper
+// forwards Snapshot and NextRun to inner when inner implements them, so a
+// prefixed view of a registry still exports the whole registry and still
+// numbers runs globally.
+func WithPrefix(inner Recorder, prefix string) Recorder {
+	return &prefixed{inner: inner, prefix: prefix}
+}
+
+type prefixed struct {
+	inner  Recorder
+	prefix string
+}
+
+func (p *prefixed) name(n string) string {
+	if hasWallTimePrefix(n) {
+		return WallTimePrefix + p.prefix + n[len(WallTimePrefix):]
+	}
+	return p.prefix + n
+}
+
+func (p *prefixed) Add(name string, delta int64)     { p.inner.Add(p.name(name), delta) }
+func (p *prefixed) Gauge(name string, value float64) { p.inner.Gauge(p.name(name), value) }
+func (p *prefixed) Observe(series string, v float64) { p.inner.Observe(p.name(series), v) }
+
+// Snapshot forwards to the wrapped recorder, so the harness's Result.Metrics
+// attachment works unchanged for prefixed runs. It returns nil when inner
+// cannot snapshot; the harness type-asserts Snapshotter first.
+func (p *prefixed) Snapshot() *Snapshot {
+	if s, ok := p.inner.(Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return nil
+}
+
+// NextRun forwards run numbering to the wrapped recorder, so runs handed an
+// already-prefixed view still share the underlying registry's sequence.
+func (p *prefixed) NextRun() int {
+	if s, ok := p.inner.(RunSequencer); ok {
+		return s.NextRun()
+	}
+	return 1
 }
 
 // Snapshot returns a deep copy of the registry's current state; the registry

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -115,6 +116,110 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if out != b2.String() {
 		t.Error("two renders of one snapshot differ")
+	}
+}
+
+// TestWritePrometheusCollision: two raw names that sanitize to one series
+// used to emit duplicate # TYPE lines — invalid exposition format that
+// scrapers reject. The writer must refuse, naming both offenders.
+func TestWritePrometheusCollision(t *testing.T) {
+	build := map[string]func(*Registry){
+		"gauge/gauge": func(r *Registry) {
+			r.Gauge("a.b", 1)
+			r.Gauge("a/b", 2)
+		},
+		"counter/gauge": func(r *Registry) {
+			r.Add("a.b", 1)
+			r.Gauge("a b", 2)
+		},
+		"gauge/series": func(r *Registry) {
+			r.Gauge("a-b", 1)
+			r.Observe("a.b", 2)
+		},
+	}
+	for name, fill := range build {
+		r := NewRegistry()
+		fill(r)
+		var b strings.Builder
+		err := r.Snapshot().WritePrometheus(&b, "p_")
+		if err == nil {
+			t.Errorf("%s: collision on p_a_b not rejected; output:\n%s", name, b.String())
+			continue
+		}
+		if !strings.Contains(err.Error(), "p_a_b") {
+			t.Errorf("%s: error %q does not name the colliding series", name, err)
+		}
+	}
+
+	// Distinct sanitized names must keep working.
+	r := NewRegistry()
+	r.Gauge("a.b", 1)
+	r.Gauge("a_c", 2)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b, "p_"); err != nil {
+		t.Errorf("non-colliding names rejected: %v", err)
+	}
+}
+
+// TestWritePrometheusNonFinite pins the exposition-format rendering of the
+// non-finite gauge values: NaN, +Inf and -Inf are the literal spellings the
+// text format defines, and they must round-trip byte-stably.
+func TestWritePrometheusNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("nan", math.NaN())
+	r.Gauge("pinf", math.Inf(1))
+	r.Gauge("ninf", math.Inf(-1))
+	r.Observe("series_nan", math.NaN())
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"nan NaN\n",
+		"pinf +Inf\n",
+		"ninf -Inf\n",
+		"series_nan{i=\"0\"} NaN\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWithPrefix covers the run-scoped prefix wrapper the harness uses for
+// runs sharing one registry: names gain the prefix, wall-time names keep
+// WallTimePrefix outermost (so Deterministic still strips them), and
+// Snapshot/NextRun forward to the wrapped registry.
+func TestWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	p := WithPrefix(r, "run2_")
+	p.Add("hits", 3)
+	p.Gauge("config_seed", 7)
+	p.Observe("loss", 0.5)
+	p.Gauge(WallTimePrefix+"stage_total_seconds", 1.5)
+
+	s := r.Snapshot()
+	if s.Counters["run2_hits"] != 3 || s.Gauges["run2_config_seed"] != 7 || len(s.Series["run2_loss"]) != 1 {
+		t.Errorf("prefixed metrics misrouted: %+v", s)
+	}
+	if _, ok := s.Gauges[WallTimePrefix+"run2_stage_total_seconds"]; !ok {
+		t.Errorf("wall-time gauge lost its outermost walltime_ prefix: %v", s.Gauges)
+	}
+	if d := s.Deterministic(); len(d.Gauges) != 1 {
+		t.Errorf("Deterministic kept a prefixed wall-time gauge: %v", d.Gauges)
+	}
+
+	if snap, ok := p.(Snapshotter); !ok || snap.Snapshot() == nil {
+		t.Error("prefixed recorder does not forward Snapshot")
+	}
+	seq, ok := p.(RunSequencer)
+	if !ok {
+		t.Fatal("prefixed recorder does not forward NextRun")
+	}
+	if r.NextRun() != 1 || seq.NextRun() != 2 || r.NextRun() != 3 {
+		t.Error("run numbering not shared through the prefix wrapper")
 	}
 }
 

@@ -12,22 +12,47 @@ import (
 // series as gauges, with series points labelled by their append index
 // (`name{i="3"} v`). Every metric name is prefixed with prefix and sanitized
 // to the Prometheus charset. Output is fully deterministic: metrics emit in
-// sorted name order and values use the shortest round-trip float encoding.
+// sorted name order and values use the shortest round-trip float encoding
+// (NaN and ±Inf render as the format's literal NaN, +Inf and -Inf).
+//
+// Sanitization can collide: two raw names that differ only in runes outside
+// the charset (`a.b` and `a/b`) map to one series name, which used to emit
+// duplicate `# TYPE` lines — invalid exposition format that scrapers
+// reject. Collisions are now an error naming both raw metrics, so the
+// writer never produces an export a scraper cannot ingest.
 func (s *Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	seen := make(map[string]string, len(s.Counters)+len(s.Gauges)+len(s.Series))
+	claim := func(raw string) (string, error) {
+		name := SanitizeName(prefix + raw)
+		if prev, dup := seen[name]; dup {
+			return "", fmt.Errorf("obs: metrics %q and %q both export as %q; rename one", prev, raw, name)
+		}
+		seen[name] = raw
+		return name, nil
+	}
 	for _, k := range sortedKeys(s.Counters) {
-		name := SanitizeName(prefix + k)
+		name, err := claim(k)
+		if err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k]); err != nil {
 			return err
 		}
 	}
 	for _, k := range sortedKeys(s.Gauges) {
-		name := SanitizeName(prefix + k)
+		name, err := claim(k)
+		if err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[k])); err != nil {
 			return err
 		}
 	}
 	for _, k := range sortedKeys(s.Series) {
-		name := SanitizeName(prefix + k)
+		name, err := claim(k)
+		if err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
 			return err
 		}

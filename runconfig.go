@@ -88,6 +88,11 @@ type RunConfig struct {
 	// claim they reproduce. Per-modality rng streams are derived by name,
 	// so filtering changes which rows appear, never the values of the rows
 	// that remain.
+	//
+	// The list is a set: beginRun normalizes it to sorted, deduplicated
+	// order before any experiment reads it, so two configs naming the same
+	// modalities in different orders are the same run (and share a
+	// ConfigKey).
 	Modalities []string
 	// Recorder receives the run's observability stream (training curves,
 	// cache hit rates, per-node radio scalars, stage timings). Nil disables
@@ -295,11 +300,28 @@ func beginRun(ctx context.Context, cfg *RunConfig) (*harness, error) {
 	if cfg.SampleScale == 0 {
 		cfg.SampleScale = 1
 	}
+	cfg.Modalities = canonicalModalities(cfg.Modalities)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if rec := cfg.Recorder; rec != nil {
+		// Runs sharing one recorder — the documented Clone behaviour — used
+		// to clobber each other's config_* gauges last-writer-wins and
+		// interleave their series, so an exported snapshot misdescribed the
+		// runs that produced it. Each run now claims a run number from the
+		// recorder and, from the second run on, records under a "run<N>_"
+		// prefix (kept inside WallTimePrefix so Deterministic still strips
+		// wall-time entries). The first run keeps unprefixed names, so a
+		// single-run registry exports exactly the bytes it always did.
+		if seq, ok := rec.(obs.RunSequencer); ok {
+			if n := seq.NextRun(); n > 1 {
+				rec = obs.WithPrefix(rec, fmt.Sprintf("run%d_", n))
+				cfg.Recorder = rec
+			}
+		}
 	}
 	if rec := cfg.Recorder; rec != nil {
 		// The resolved config, as gauges, so an exported snapshot is

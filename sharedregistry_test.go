@@ -1,0 +1,96 @@
+package zeiot_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"zeiot"
+	"zeiot/internal/obs"
+)
+
+// TestSharedRegistryConcurrentRuns pins the fix for the config-gauge
+// clobbering bug: two differently-configured runs sharing one Registry (the
+// documented RunConfig.Clone behaviour — Clone shares the Recorder
+// interface) used to overwrite each other's config_* gauges
+// last-writer-wins, so an exported snapshot misdescribed the runs that
+// produced it. With run-scoped prefixing, the snapshot must carry BOTH
+// runs' config gauges — one set unprefixed, one under run2_ — with the two
+// configured seeds appearing exactly once each. Run under -race (ci.sh
+// does), this also proves the prefixing handshake itself is race-free.
+func TestSharedRegistryConcurrentRuns(t *testing.T) {
+	e, err := zeiot.FindExperiment("e7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	base := &zeiot.RunConfig{Seed: 3, Recorder: reg}
+
+	// Derive the second config the documented way: Clone shares the
+	// recorder. Different seeds make the two runs distinguishable in the
+	// snapshot.
+	other := base.Clone()
+	other.Seed = 4
+	other.Repeats = 2
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, cfg := range []*zeiot.RunConfig{base, other} {
+		wg.Add(1)
+		go func(i int, cfg *zeiot.RunConfig) {
+			defer wg.Done()
+			_, errs[i] = e.Run(context.Background(), cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	first, ok1 := snap.Gauges["config_seed"]
+	second, ok2 := snap.Gauges["run2_config_seed"]
+	if !ok1 || !ok2 {
+		t.Fatalf("snapshot missing a run's config gauges: gauges = %v", snap.Gauges)
+	}
+	// Which run claims which prefix is scheduling-dependent; both seeds must
+	// survive, once each.
+	got := map[float64]bool{first: true, second: true}
+	if !got[3] || !got[4] {
+		t.Errorf("config_seed gauges = {%v, %v}, want {3, 4} — a run's config was clobbered", first, second)
+	}
+	// The run2_ prefix nests inside the walltime_ prefix, so Deterministic
+	// still strips the second run's stage timings.
+	det := snap.Deterministic()
+	for k := range det.Gauges {
+		if strings.Contains(k, "stage_total_seconds") {
+			t.Errorf("Deterministic kept wall-time gauge %q from a prefixed run", k)
+		}
+	}
+	if _, ok := snap.Gauges[obs.WallTimePrefix+"run2_stage_total_seconds"]; !ok {
+		t.Errorf("second run's stage timing not recorded under walltime_run2_: gauges = %v", snap.Gauges)
+	}
+}
+
+// TestSharedRegistrySequentialRuns: sequential reuse of one registry is
+// deterministic — the second run always records under run2_.
+func TestSharedRegistrySequentialRuns(t *testing.T) {
+	e, err := zeiot.FindExperiment("e7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := &zeiot.RunConfig{Seed: 1, Recorder: reg}
+	for i := 0; i < 2; i++ {
+		if _, err := e.Run(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["config_seed"] != 1 || snap.Gauges["run2_config_seed"] != 1 {
+		t.Errorf("sequential reuse did not record both runs: gauges = %v", snap.Gauges)
+	}
+}
